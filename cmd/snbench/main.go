@@ -1,0 +1,151 @@
+// Command snbench regenerates the paper's evaluation tables and
+// figures (§4) over the synthetic corpus:
+//
+//	snbench -experiment all
+//	snbench -experiment fig9      # + fig10 (scalability)
+//	snbench -experiment table1    # compression
+//	snbench -experiment table2    # in-memory access times
+//	snbench -experiment fig11     # query navigation times
+//	snbench -experiment fig12     # buffer-size sweep
+//	snbench -experiment ablation  # §3 design-choice studies
+//
+// -quick runs a reduced scale for smoke testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"snode/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation")
+	quick := flag.Bool("quick", false, "reduced scale")
+	seed := flag.Uint64("seed", 0, "override corpus seed")
+	workspace := flag.String("workspace", "", "build directory (default: temp)")
+	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workspace = *workspace
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(names ...string) bool {
+		if *experiment == "all" {
+			return true
+		}
+		for _, n := range names {
+			if n == *experiment {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("fig9", "fig10") {
+		run("fig9/fig10", func() error {
+			rows, err := bench.Scalability(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderScalability(cfg, rows)
+			if *csvDir != "" {
+				return bench.ScalabilityCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("table1") {
+		run("table1", func() error {
+			rows, err := bench.Compression(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderCompression(cfg, rows)
+			if *csvDir != "" {
+				return bench.CompressionCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("table2") {
+		run("table2", func() error {
+			rows, err := bench.Access(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAccess(cfg, rows)
+			if *csvDir != "" {
+				return bench.AccessCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("fig11") {
+		run("fig11", func() error {
+			res, err := bench.Queries(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderQueries(cfg, res)
+			if *csvDir != "" {
+				return bench.QueriesCSV(*csvDir, res)
+			}
+			return nil
+		})
+	}
+	if want("fig12") {
+		run("fig12", func() error {
+			rows, err := bench.BufferSweep(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderBufferSweep(cfg, rows)
+			if *csvDir != "" {
+				return bench.BufferSweepCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("ablation", func() error {
+			rows, err := bench.Ablations(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblations(cfg, rows)
+			ex, err := bench.ExactReference(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderExactReference(cfg, ex)
+			dm, err := bench.DiskModelSweep(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderDiskModelSweep(cfg, dm)
+			if *csvDir != "" {
+				return bench.AblationsCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,79 @@
+// Command snbuild builds one or all graph representations from a crawl
+// written by sngen and prints size statistics.
+//
+//	snbuild -crawl ./crawl -out ./repo -scheme snode
+//	snbuild -crawl ./crawl -out ./repo -scheme all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"snode/internal/corpusio"
+	"snode/internal/repo"
+	"snode/internal/snode"
+	"snode/internal/store"
+)
+
+func main() {
+	crawlDir := flag.String("crawl", "crawl", "directory written by sngen")
+	out := flag.String("out", "repo", "output workspace")
+	scheme := flag.String("scheme", "all", "snode, huffman, link3, db, files, or all")
+	budget := flag.Int64("budget", 16<<20, "per-representation cache budget (bytes)")
+	transpose := flag.Bool("transpose", true, "also build WGT representations")
+	verify := flag.Bool("verify", false, "verify the S-Node representation after building")
+	flag.Parse()
+
+	crawl, err := corpusio.Read(filepath.Join(*crawlDir, "corpus.bin"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snbuild:", err)
+		os.Exit(1)
+	}
+	opt := repo.DefaultOptions(*out)
+	opt.CacheBudget = *budget
+	opt.Transpose = *transpose
+	opt.Layout = crawl.Order
+	if *scheme != "all" {
+		opt.Schemes = []string{*scheme}
+	}
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snbuild:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+
+	edges := crawl.Corpus.Graph.NumEdges()
+	fmt.Printf("%-10s %14s %12s\n", "scheme", "size(bytes)", "bits/edge")
+	for _, name := range repo.AllSchemes() {
+		s, ok := r.Fwd[name]
+		if !ok {
+			continue
+		}
+		sized, ok := s.(store.Sized)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %14d %12.2f\n", name, sized.SizeBytes(),
+			store.BitsPerEdge(sized, edges))
+	}
+	if *verify {
+		if sn, ok := r.Fwd[repo.SchemeSNode].(*snode.Representation); ok {
+			if err := sn.Verify(); err != nil {
+				fmt.Fprintln(os.Stderr, "snbuild: verify:", err)
+				os.Exit(1)
+			}
+			fmt.Println("\nS-Node representation verified: every graph decodes and totals match")
+		}
+	}
+	if st := r.SNodeStats; st != nil {
+		fmt.Printf("\nS-Node: %d supernodes, %d superedges (%d positive, %d negative)\n",
+			st.Supernodes, st.Superedges, st.PositiveSuperedges, st.NegativeSuperedges)
+		fmt.Printf("        supernode graph %d bytes, index files %d bytes, built in %v\n",
+			st.SupernodeGraphBytes, st.IndexFileBytes, st.BuildTime)
+		fmt.Printf("        partition: %d URL splits, %d clustered splits\n",
+			st.URLSplits, st.ClusteredSplits)
+	}
+}

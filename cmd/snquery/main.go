@@ -1,0 +1,93 @@
+// Command snquery runs the paper's six complex queries (Table 3)
+// against a crawl, building the requested representation on the fly,
+// and reports results with navigation-time breakdowns.
+//
+//	snquery -crawl ./crawl -scheme snode -query all
+//	snquery -crawl ./crawl -scheme files -query 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"snode/internal/corpusio"
+	"snode/internal/query"
+	"snode/internal/repo"
+)
+
+func main() {
+	crawlDir := flag.String("crawl", "crawl", "directory written by sngen")
+	scheme := flag.String("scheme", repo.SchemeSNode, "representation to query")
+	queryID := flag.String("query", "all", "1..6 or all")
+	budget := flag.Int64("budget", 4<<20, "cache budget (bytes)")
+	rows := flag.Int("rows", 10, "result rows to print per query")
+	flag.Parse()
+
+	crawl, err := corpusio.Read(filepath.Join(*crawlDir, "corpus.bin"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snquery:", err)
+		os.Exit(1)
+	}
+	ws, err := os.MkdirTemp("", "snquery-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snquery:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ws)
+
+	opt := repo.DefaultOptions(ws)
+	opt.Schemes = []string{*scheme}
+	opt.CacheBudget = *budget
+	opt.Layout = crawl.Order
+	fmt.Fprintf(os.Stderr, "building %s representation...\n", *scheme)
+	start := time.Now()
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snquery:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	fmt.Fprintf(os.Stderr, "built in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	e, err := query.New(r, *scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snquery:", err)
+		os.Exit(1)
+	}
+	var queries []query.ID
+	if *queryID == "all" {
+		queries = query.All()
+	} else {
+		qi, err := strconv.Atoi(*queryID)
+		if err != nil || qi < 1 || qi > 6 {
+			fmt.Fprintln(os.Stderr, "snquery: -query must be 1..6 or all")
+			os.Exit(1)
+		}
+		queries = []query.ID{query.ID(qi)}
+	}
+	for _, q := range queries {
+		res, err := e.Run(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snquery: query %d: %v\n", q, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Q%d — %s\n", q, q.Description())
+		fmt.Printf("  navigation: %v (cpu %v + modeled disk %v), %d seeks, %d bytes, %d loads\n",
+			res.Nav.Total().Round(10*time.Microsecond),
+			res.Nav.CPU.Round(10*time.Microsecond),
+			res.Nav.IO.Round(10*time.Microsecond),
+			res.Nav.Seeks, res.Nav.BytesRead, res.Nav.GraphsLoaded)
+		for i, row := range res.Rows {
+			if i >= *rows {
+				fmt.Printf("  ... (%d more rows)\n", len(res.Rows)-i)
+				break
+			}
+			fmt.Printf("  %10.3f  %s\n", row.Value, row.Key)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,67 @@
+// Compression report: build all five representations of one corpus and
+// compare their sizes — the Table 1 comparison as a library user would
+// run it, plus the S-Node internal breakdown.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/synth"
+)
+
+func main() {
+	crawl, err := synth.Generate(synth.DefaultConfig(25000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "compression-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opt := repo.DefaultOptions(dir)
+	opt.Transpose = false
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	edges := crawl.Corpus.Graph.NumEdges()
+	fmt.Printf("corpus: %d pages, %d links\n\n", crawl.Corpus.Graph.NumPages(), edges)
+	fmt.Printf("%-10s %14s %12s %10s\n", "scheme", "bytes", "bits/link", "vs files")
+	var filesSize int64
+	if sized, ok := r.Fwd[repo.SchemeFiles].(store.Sized); ok {
+		filesSize = sized.SizeBytes()
+	}
+	for _, name := range repo.AllSchemes() {
+		s := r.Fwd[name]
+		sized, ok := s.(store.Sized)
+		if !ok {
+			continue
+		}
+		ratio := float64(filesSize) / float64(sized.SizeBytes())
+		fmt.Printf("%-10s %14d %12.2f %9.1fx\n",
+			name, sized.SizeBytes(), store.BitsPerEdge(sized, edges), ratio)
+	}
+
+	st := r.SNodeStats
+	fmt.Printf("\nS-Node breakdown:\n")
+	fmt.Printf("  supernodes             %12d\n", st.Supernodes)
+	fmt.Printf("  superedges             %12d (%d positive, %d negative graphs)\n",
+		st.Superedges, st.PositiveSuperedges, st.NegativeSuperedges)
+	fmt.Printf("  index files            %12d bytes\n", st.IndexFileBytes)
+	fmt.Printf("  supernode graph        %12d bytes (Huffman + pointers)\n", st.SupernodeGraphBytes)
+	fmt.Printf("  page-ID index          %12d bytes\n", st.PageIDIndexBytes)
+	fmt.Printf("  domain index           %12d bytes\n", st.DomainIndexBytes)
+	fmt.Printf("  partition              %d URL splits, %d clustered splits, built in %v\n",
+		st.URLSplits, st.ClusteredSplits, st.BuildTime)
+}

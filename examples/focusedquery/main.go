@@ -1,0 +1,80 @@
+// Focused query: Analysis 1 from the paper's introduction, end-to-end.
+//
+// "Generate a list of universities that Stanford researchers working on
+// 'Mobile networking' refer to and collaborate with" — resolve the page
+// set through the text index, weight by PageRank, and navigate the Web
+// graph. The same query runs against the S-Node representation and the
+// uncompressed-files baseline so the navigation-time gap is visible.
+//
+//	go run ./examples/focusedquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/synth"
+)
+
+func main() {
+	crawl, err := synth.Generate(synth.DefaultConfig(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "focusedquery-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build a repository holding two representations of the same graph:
+	// S-Node and plain uncompressed files laid out in crawl order (as a
+	// real repository's page store would be).
+	opt := repo.DefaultOptions(dir)
+	opt.Schemes = []string{repo.SchemeSNode, repo.SchemeFiles}
+	opt.CacheBudget = 256 << 10
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, scheme := range []string{repo.SchemeFiles, repo.SchemeSNode} {
+		// Cold caches for a fair comparison.
+		for _, s := range []store.LinkStore{r.Fwd[scheme], r.Rev[scheme]} {
+			if cr, ok := s.(store.CacheResetter); ok {
+				cr.ResetCache(opt.CacheBudget)
+			}
+		}
+		e, err := query.New(r, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := e.Run(query.Q1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", scheme)
+		fmt.Printf("navigation: %v (cpu %v + modeled 2002-disk %v; %d seeks)\n",
+			res.Nav.Total().Round(10*time.Microsecond),
+			res.Nav.CPU.Round(10*time.Microsecond),
+			res.Nav.IO.Round(10*time.Microsecond),
+			res.Nav.Seeks)
+		for i, row := range res.Rows {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %.3f  %s\n", row.Value, row.Key)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both schemes return identical rankings; the S-Node two-level")
+	fmt.Println("layout answers from a handful of small superedge graphs while")
+	fmt.Println("the flat store pays a disk seek per crawl-order page record.")
+}

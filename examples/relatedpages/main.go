@@ -1,0 +1,114 @@
+// Related pages: find authoritative pages on a topic, the way the
+// paper's Query 3 sets up Kleinberg's HITS — declaratively.
+//
+// The webql plan (the declarative layer the paper lists as missing
+// infrastructure) resolves the topic's base set; HITS over the induced
+// subgraph separates hubs from authorities; results print with their
+// PageRank for comparison.
+//
+//	go run ./examples/relatedpages
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"snode/internal/mining"
+	"snode/internal/pagerank"
+	"snode/internal/repo"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+	"snode/internal/webql"
+)
+
+func main() {
+	crawl, err := synth.Generate(synth.DefaultConfig(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "relatedpages-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opt := repo.DefaultOptions(dir)
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	topic := synth.PhraseQuantumCryptography
+	fmt.Printf("topic: %q\n\n", topic)
+
+	// Declarative: which domains do the topic's top pages cite?
+	rows, err := webql.NewPlan(r).
+		Pages(webql.Phrase(topic), webql.TopByPageRank(50)).
+		WeightBy(webql.PageRankWeight).
+		Out(webql.AnyTarget()).
+		GroupByDomain(webql.SumSourceWeights).
+		Top(5).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("domains the topic's top pages cite (webql plan):")
+	for _, row := range rows {
+		fmt.Printf("  %8.4f  %s\n", row.Score, row.Key)
+	}
+
+	// HITS over the Kleinberg base set: roots ∪ out-neighbours.
+	roots := pagerank.TopK(r.PageRank, r.Text.Lookup(topic), 50)
+	base := map[webgraph.PageID]bool{}
+	for _, p := range roots {
+		base[p] = true
+	}
+	var buf []webgraph.PageID
+	for _, p := range roots {
+		buf, err = r.Fwd[repo.SchemeSNode].Out(p, buf[:0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range buf {
+			base[t] = true
+		}
+	}
+	var basePages []webgraph.PageID
+	for p := range base {
+		basePages = append(basePages, p)
+	}
+	sort.Slice(basePages, func(i, j int) bool { return basePages[i] < basePages[j] })
+	res := mining.HITS(crawl.Corpus.Graph, basePages, 50)
+
+	type scored struct {
+		p webgraph.PageID
+		v float64
+	}
+	top := func(vals []float64) []scored {
+		out := make([]scored, len(res.Pages))
+		for i, p := range res.Pages {
+			out[i] = scored{p, vals[i]}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].v != out[j].v {
+				return out[i].v > out[j].v
+			}
+			return out[i].p < out[j].p
+		})
+		return out[:5]
+	}
+	fmt.Printf("\nHITS over the %d-page base set:\n", len(basePages))
+	fmt.Println("top authorities:")
+	for _, s := range top(res.Authority) {
+		fmt.Printf("  %7.4f  (pagerank %6.4f)  %s\n",
+			s.v, r.PageRank[s.p], crawl.Corpus.Pages[s.p].URL)
+	}
+	fmt.Println("top hubs:")
+	for _, s := range top(res.Hub) {
+		fmt.Printf("  %7.4f  %s\n", s.v, crawl.Corpus.Pages[s.p].URL)
+	}
+}

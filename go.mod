@@ -1,0 +1,3 @@
+module snode
+
+go 1.22

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"snode/internal/huffgraph"
+	"snode/internal/link3"
+	"snode/internal/randutil"
+	"snode/internal/snode"
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// Table2Row is one scheme's line of Table 2: nanoseconds per edge for
+// sequential and random adjacency-list retrieval with the whole
+// representation memory-resident (the paper uses the smallest data set
+// and 5000 trials; disk time is excluded by construction — everything
+// is cached before measurement).
+type Table2Row struct {
+	Scheme     string
+	SeqNsEdge  float64 // per retrieved edge
+	RandNsEdge float64 // per retrieved edge
+	// RandNsDecoded charges random-access time per DECODED edge. The
+	// block/graph-granular decoders here decode more than the requested
+	// list on a cold access, which inflates the per-retrieved-edge
+	// number far beyond the paper's (their decoder extracts single
+	// lists); decode throughput is the comparable metric.
+	RandNsDecoded float64
+}
+
+// table2Trials matches the paper's 5000 retrievals per mode.
+const table2Trials = 5000
+
+// Access runs the Table 2 experiment on the smallest configured size.
+func Access(cfg Config) ([]Table2Row, error) {
+	n := cfg.Sizes[0]
+	crawl, err := cfg.Crawl(n)
+	if err != nil {
+		return nil, err
+	}
+	c := crawl.Corpus
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	// Build the three compressed schemes with budgets large enough to
+	// hold everything decoded, then pre-warm so measurements exercise
+	// in-memory decode paths only.
+	hf, err := huffgraph.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	l3dir := filepath.Join(ws, "t2-l3")
+	if err := os.MkdirAll(l3dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := link3.Build(c, l3dir); err != nil {
+		return nil, err
+	}
+	l3, err := link3.Open(c, l3dir, 1<<20, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer l3.Close()
+	snDir := filepath.Join(ws, "t2-sn")
+	if err := os.MkdirAll(snDir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := snode.Build(c, snode.DefaultConfig(), snDir); err != nil {
+		return nil, err
+	}
+	sn, err := snode.Open(snDir, 1<<20, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Close()
+
+	// Table 2 measures "the time to decode and extract adjacency lists"
+	// from the in-memory compressed form (the data files are OS-cached;
+	// wall time is decode cost). Sequential scans may reuse the block /
+	// supernode currently being traversed — a modest working-set budget
+	// — while random access gets a minimal budget so nearly every
+	// retrieval decodes afresh, as the paper's per-access numbers do.
+	const seqBudget = 256 << 10
+	const randBudget = 4 << 10
+	var rows []Table2Row
+	for _, s := range []store.LinkStore{hf, l3, sn} {
+		if cr, ok := s.(store.CacheResetter); ok {
+			cr.ResetCache(seqBudget)
+		}
+		seq, err := measureSequential(s, c.Graph.NumPages())
+		if err != nil {
+			return nil, err
+		}
+		if cr, ok := s.(store.CacheResetter); ok {
+			cr.ResetCache(randBudget)
+		}
+		s.ResetStats()
+		rnd, dur, retrieved, err := measureRandom(s, c.Graph.NumPages(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		decoded := retrieved
+		if dc, ok := s.(interface{ DecodedEdges() int64 }); ok {
+			decoded = dc.DecodedEdges()
+		}
+		rows = append(rows, Table2Row{
+			Scheme:        s.Name(),
+			SeqNsEdge:     seq,
+			RandNsEdge:    rnd,
+			RandNsDecoded: nsPerEdge(dur, decoded),
+		})
+	}
+	return rows, nil
+}
+
+func measureSequential(s store.LinkStore, n int) (float64, error) {
+	var buf []webgraph.PageID
+	var edges int64
+	start := time.Now()
+	for trial, p := 0, 0; trial < table2Trials; trial++ {
+		var err error
+		buf, err = s.Out(webgraph.PageID(p), buf[:0])
+		if err != nil {
+			return 0, err
+		}
+		edges += int64(len(buf))
+		p++
+		if p == n {
+			p = 0
+		}
+	}
+	return nsPerEdge(time.Since(start), edges), nil
+}
+
+func measureRandom(s store.LinkStore, n int, seed uint64) (float64, time.Duration, int64, error) {
+	rng := randutil.NewRNG(seed ^ 0xACCE55)
+	ids := make([]webgraph.PageID, table2Trials)
+	for i := range ids {
+		ids[i] = webgraph.PageID(rng.Intn(n))
+	}
+	var buf []webgraph.PageID
+	var edges int64
+	start := time.Now()
+	for _, p := range ids {
+		var err error
+		buf, err = s.Out(p, buf[:0])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		edges += int64(len(buf))
+	}
+	dur := time.Since(start)
+	return nsPerEdge(dur, edges), dur, edges, nil
+}
+
+func nsPerEdge(d time.Duration, edges int64) float64 {
+	if edges == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(edges)
+}
+
+// RenderAccess prints Table 2.
+func RenderAccess(cfg Config, rows []Table2Row) {
+	w := cfg.out()
+	fmt.Fprintf(w, "Table 2: in-memory access times (%d-page data set, %d trials)\n",
+		cfg.Sizes[0], table2Trials)
+	fmt.Fprintf(w, "%-28s %20s %20s %22s\n",
+		"representation", "seq (ns/edge)", "random (ns/edge)", "random (ns/decoded)")
+	name := map[string]string{
+		"huffman": "Plain Huffman",
+		"link3":   "Connectivity Server (Link3)",
+		"snode":   "S-Node",
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %20.0f %20.0f %22.0f\n",
+			name[r.Scheme], r.SeqNsEdge, r.RandNsEdge, r.RandNsDecoded)
+	}
+	fmt.Fprintln(w, "(paper: Huffman 112/198, Link3 309/689, S-Node 298/702 ns/edge)")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"snode/internal/huffgraph"
+	"snode/internal/link3"
+	"snode/internal/snode"
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// Table1Row is one scheme's line of Table 1: average bits per edge over
+// the Table1Sizes corpora for WG and WGT, and the largest repository
+// (in pages) each fits into 8 GB of memory at the measured mean
+// out-degree.
+type Table1Row struct {
+	Scheme    string
+	BPE, BPET float64 // bits/edge for WG and WGT
+	Max8GB    int64   // pages of WG representable in 8 GB
+	Max8GBT   int64
+}
+
+const eightGB = int64(8) << 30
+
+// Compression runs the Table 1 experiment. Each size uses an
+// independently generated corpus of complete domains (Table 1 measures
+// repositories of a size, not crawl snapshots; Figure 9 covers prefix
+// behaviour).
+func Compression(cfg Config) ([]Table1Row, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	sums := map[string]*bpeAcc{
+		"huffman": {}, "link3": {}, "snode": {},
+	}
+	var avgDeg float64
+	for _, n := range cfg.Table1Sizes {
+		crawl, err := cfg.Crawl(n)
+		if err != nil {
+			return nil, err
+		}
+		fwd := crawl.Corpus
+		rev := &webgraph.Corpus{Graph: fwd.Graph.Transpose(), Pages: fwd.Pages}
+		avgDeg += fwd.Graph.AvgOutDegree()
+		for dirTag, c := range map[string]*webgraph.Corpus{"fwd": fwd, "rev": rev} {
+			edges := c.Graph.NumEdges()
+
+			hf, err := huffgraph.Build(c)
+			if err != nil {
+				return nil, err
+			}
+			addBPE(sums["huffman"], dirTag, store.BitsPerEdge(hf, edges))
+
+			l3dir := filepath.Join(ws, fmt.Sprintf("t1-l3-%d-%s", n, dirTag))
+			if err := os.MkdirAll(l3dir, 0o755); err != nil {
+				return nil, err
+			}
+			if err := link3.Build(c, l3dir); err != nil {
+				return nil, err
+			}
+			l3, err := link3.Open(c, l3dir, 1<<20, cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			addBPE(sums["link3"], dirTag, store.BitsPerEdge(l3, edges))
+			l3.Close()
+			os.RemoveAll(l3dir)
+
+			snDir := filepath.Join(ws, fmt.Sprintf("t1-sn-%d-%s", n, dirTag))
+			if err := os.MkdirAll(snDir, 0o755); err != nil {
+				return nil, err
+			}
+			st, err := snode.Build(c, snode.DefaultConfig(), snDir)
+			if err != nil {
+				return nil, err
+			}
+			addBPE(sums["snode"], dirTag, float64(st.SizeBytes()*8)/float64(edges))
+			os.RemoveAll(snDir)
+		}
+	}
+	nSizes := float64(len(cfg.Table1Sizes))
+	avgDeg /= nSizes
+	var rows []Table1Row
+	for _, scheme := range []string{"huffman", "link3", "snode"} {
+		a := sums[scheme]
+		bpe := a.bpe / nSizes
+		bpet := a.bpet / nSizes
+		rows = append(rows, Table1Row{
+			Scheme:  scheme,
+			BPE:     bpe,
+			BPET:    bpet,
+			Max8GB:  maxPages(bpe, avgDeg),
+			Max8GBT: maxPages(bpet, avgDeg),
+		})
+	}
+	return rows, nil
+}
+
+type bpeAcc struct{ bpe, bpet float64 }
+
+func addBPE(a *bpeAcc, dirTag string, v float64) {
+	if dirTag == "fwd" {
+		a.bpe += v
+	} else {
+		a.bpet += v
+	}
+}
+
+// maxPages inverts the paper's formula: a graph over n pages has
+// n*avgDeg edges occupying n*avgDeg*bpe/8 bytes; solve for 8 GB.
+func maxPages(bpe, avgDeg float64) int64 {
+	if bpe <= 0 || avgDeg <= 0 {
+		return 0
+	}
+	return int64(float64(eightGB) * 8 / (bpe * avgDeg))
+}
+
+// RenderCompression prints Table 1.
+func RenderCompression(cfg Config, rows []Table1Row) {
+	w := cfg.out()
+	fmt.Fprintln(w, "Table 1: compression statistics (averaged over sizes",
+		cfg.Table1Sizes, ")")
+	fmt.Fprintf(w, "%-28s %10s %10s %18s %18s\n",
+		"representation", "b/e WG", "b/e WGT", "max pages in 8GB", "max pages 8GB(T)")
+	name := map[string]string{
+		"huffman": "Plain Huffman",
+		"link3":   "Connectivity Server (Link3)",
+		"snode":   "S-Node",
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10.2f %10.2f %18d %18d\n",
+			name[r.Scheme], r.BPE, r.BPET, r.Max8GB, r.Max8GBT)
+	}
+	fmt.Fprintln(w, "(paper: Huffman 15.2/15.4, Link3 5.81/5.92, S-Node 5.07/5.63 bits/edge)")
+	fmt.Fprintln(w)
+}

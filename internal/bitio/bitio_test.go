@@ -1,0 +1,250 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got := w.BitLen(); got != len(pattern) {
+		t.Fatalf("BitLen = %d, want %d", got, len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.BitLen())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun past end, got %v", err)
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	type item struct {
+		v uint64
+		n uint
+	}
+	items := []item{
+		{0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{0xDEADBEEF, 32}, {1<<64 - 1, 64}, {0, 0}, {42, 13},
+	}
+	w := NewWriter(0)
+	for _, it := range items {
+		w.WriteBits(it.v, it.n)
+	}
+	r := NewReader(w.Bytes(), w.BitLen())
+	for i, it := range items {
+		got, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("ReadBits item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %d, want %d", i, got, it.v)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000}
+	w := NewWriter(0)
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes(), w.BitLen())
+	for i, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("unary %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestUnaryAtBoundary(t *testing.T) {
+	// A unary value whose terminating 1 is the very last bit must decode.
+	w := NewWriter(0)
+	w.WriteUnary(23)
+	r := NewReader(w.Bytes(), w.BitLen())
+	got, err := r.ReadUnary()
+	if err != nil || got != 23 {
+		t.Fatalf("got %d, %v; want 23, nil", got, err)
+	}
+	// A run of zeros with no terminator must error, not loop.
+	r2 := NewReader([]byte{0, 0}, 16)
+	if _, err := r2.ReadUnary(); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun, got %v", err)
+	}
+}
+
+func TestMixedInterleaving(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBit(1)
+	w.WriteBits(0x2A, 7)
+	w.WriteUnary(5)
+	w.WriteBool(true)
+	w.WriteBits(0x1234, 16)
+
+	r := NewReader(w.Bytes(), w.BitLen())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("first bit")
+	}
+	if v, _ := r.ReadBits(7); v != 0x2A {
+		t.Fatalf("bits7 = %x", v)
+	}
+	if u, _ := r.ReadUnary(); u != 5 {
+		t.Fatalf("unary = %d", u)
+	}
+	if b, _ := r.ReadBool(); !b {
+		t.Fatal("bool")
+	}
+	if v, _ := r.ReadBits(16); v != 0x1234 {
+		t.Fatalf("bits16 = %x", v)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestSeekAndPos(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0x00, 8)
+	w.WriteBits(0xAA, 8)
+	r := NewReader(w.Bytes(), w.BitLen())
+	if err := r.Seek(16); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.ReadBits(8); v != 0xAA {
+		t.Fatalf("after seek got %x", v)
+	}
+	if err := r.Seek(25); err != ErrOverrun {
+		t.Fatalf("seek past end: %v", err)
+	}
+	if err := r.Seek(-1); err != ErrOverrun {
+		t.Fatalf("seek negative: %v", err)
+	}
+}
+
+func TestAppendToMatchesBytes(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xABC, 12)
+	got := w.AppendTo([]byte{0x99})
+	want := append([]byte{0x99}, w.Bytes()...)
+	if len(got) != len(want) {
+		t.Fatalf("len mismatch %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: %x vs %x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResetWriter(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatalf("BitLen after reset = %d", w.BitLen())
+	}
+	w.WriteBit(1)
+	r := NewReader(w.Bytes(), w.BitLen())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("write after reset lost")
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickWriteBitsRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widthsSeed int64) bool {
+		rng := rand.New(rand.NewSource(widthsSeed))
+		w := NewWriter(0)
+		widths := make([]uint, len(vals))
+		masked := make([]uint64, len(vals))
+		for i, v := range vals {
+			n := uint(rng.Intn(64) + 1)
+			widths[i] = n
+			if n < 64 {
+				masked[i] = v & (1<<n - 1)
+			} else {
+				masked[i] = v
+			}
+			w.WriteBits(masked[i], n)
+		}
+		r := NewReader(w.Bytes(), w.BitLen())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != masked[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unary round-trips for small values.
+func TestQuickUnaryRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		w := NewWriter(0)
+		for _, v := range raw {
+			w.WriteUnary(uint64(v % 2048))
+		}
+		r := NewReader(w.Bytes(), w.BitLen())
+		for _, v := range raw {
+			got, err := r.ReadUnary()
+			if err != nil || got != uint64(v%2048) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<19 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), uint(i%64)+1)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(uint64(i), 13)
+	}
+	buf := w.Bytes()
+	n := w.BitLen()
+	r := NewReader(buf, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 13 {
+			r.Reset(buf, n)
+		}
+		if _, err := r.ReadBits(13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

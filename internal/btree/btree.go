@@ -1,0 +1,428 @@
+// Package btree implements a disk-resident B+tree over int64 keys with
+// fixed 8-byte values, on top of internal/pager. It is the indexing
+// substrate of the relational baseline (the paper used "PostgreSQL's
+// internal B-tree indexing facilities" for its page-ID and domain
+// indexes).
+//
+// Layout (every node is one 8 KiB page):
+//
+//	offset 0:  type byte (1 = leaf, 2 = internal)
+//	offset 2:  uint16 number of keys
+//	offset 8:  int64 next-leaf page number (leaves; -1 terminates)
+//	offset 16: entries
+//	  leaf:     nkeys × (key int64, value int64)
+//	  internal: child0 int64, then nkeys × (key int64, child int64)
+//
+// Page 0 is the meta page: magic, root page number. Internal-node
+// semantics: keys[i] is the smallest key in the subtree of child i+1.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"snode/internal/pager"
+)
+
+const (
+	nodeLeaf     = 1
+	nodeInternal = 2
+
+	headerSize = 16
+	entrySize  = 16
+	// maxKeys is the node fan-out; both node types fit this many
+	// 16-byte entries after the header (internal nodes also store
+	// child0 and get one fewer).
+	maxKeys = (pager.PageSize - headerSize) / entrySize // 511
+
+	metaMagic = 0x42545245 // "BTRE"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("btree: key not found")
+
+// Tree is a B+tree bound to a pager.
+type Tree struct {
+	p    *pager.Pager
+	root int64
+}
+
+type node struct {
+	no   int64
+	data []byte
+}
+
+func (n node) typ() byte     { return n.data[0] }
+func (n node) nKeys() int    { return int(binary.LittleEndian.Uint16(n.data[2:])) }
+func (n node) setTyp(t byte) { n.data[0] = t }
+func (n node) setNKeys(k int) {
+	binary.LittleEndian.PutUint16(n.data[2:], uint16(k))
+}
+func (n node) next() int64 { return int64(binary.LittleEndian.Uint64(n.data[8:])) }
+func (n node) setNext(v int64) {
+	binary.LittleEndian.PutUint64(n.data[8:], uint64(v))
+}
+
+// leaf entry accessors
+func (n node) key(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(n.data[headerSize+i*entrySize:]))
+}
+func (n node) val(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(n.data[headerSize+i*entrySize+8:]))
+}
+func (n node) setEntry(i int, k, v int64) {
+	binary.LittleEndian.PutUint64(n.data[headerSize+i*entrySize:], uint64(k))
+	binary.LittleEndian.PutUint64(n.data[headerSize+i*entrySize+8:], uint64(v))
+}
+
+// Internal nodes store entry i as (key_i, child_{i+1}); child0 reuses
+// the next-leaf header field, which internals do not otherwise need.
+func (n node) child0() int64       { return n.next() }
+func (n node) setChild0(v int64)   { n.setNext(v) }
+func (n node) childAt(i int) int64 { return n.val(i - 1) } // i >= 1
+
+// New creates an empty tree in a build-mode pager (page 0 = meta,
+// page 1 = empty root leaf).
+func New(p *pager.Pager) (*Tree, error) {
+	metaNo, metaPg, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if metaNo != 0 {
+		return nil, errors.New("btree: meta page must be page 0")
+	}
+	rootNo, rootPg, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	root := node{no: rootNo, data: rootPg}
+	root.setTyp(nodeLeaf)
+	root.setNKeys(0)
+	root.setNext(-1)
+	binary.LittleEndian.PutUint32(metaPg[0:], metaMagic)
+	binary.LittleEndian.PutUint64(metaPg[8:], uint64(rootNo))
+	return &Tree{p: p, root: rootNo}, nil
+}
+
+// Open binds to an existing tree (read-only or build pager).
+func Open(p *pager.Pager) (*Tree, error) {
+	meta, err := p.Page(0)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
+		return nil, errors.New("btree: bad meta magic")
+	}
+	return &Tree{p: p, root: int64(binary.LittleEndian.Uint64(meta[8:]))}, nil
+}
+
+func (t *Tree) node(no int64) (node, error) {
+	data, err := t.p.Page(no)
+	if err != nil {
+		return node{}, err
+	}
+	n := node{no: no, data: data}
+	// Reject structurally impossible nodes so a corrupt page surfaces
+	// as an error instead of an out-of-bounds access.
+	if typ := n.typ(); typ != nodeLeaf && typ != nodeInternal {
+		return node{}, fmt.Errorf("btree: page %d has invalid node type %d", no, typ)
+	}
+	if k := n.nKeys(); k > maxKeys {
+		return node{}, fmt.Errorf("btree: page %d claims %d keys (max %d)", no, k, maxKeys)
+	}
+	return n, nil
+}
+
+// search returns the index of the first key >= k in n (like
+// sort.Search over the node's keys).
+func (n node) search(k int64) int {
+	lo, hi := 0, n.nKeys()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.key(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// maxDepth bounds descents so a corrupt child pointer forming a cycle
+// errors out instead of looping.
+const maxDepth = 64
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key int64) (int64, error) {
+	n, err := t.node(t.root)
+	if err != nil {
+		return 0, err
+	}
+	for depth := 0; n.typ() == nodeInternal; depth++ {
+		if depth >= maxDepth {
+			return 0, fmt.Errorf("btree: descent exceeded %d levels", maxDepth)
+		}
+		i := n.search(key + 1) // child containing keys <= key
+		var childNo int64
+		if i == 0 {
+			childNo = n.child0()
+		} else {
+			childNo = n.childAt(i)
+		}
+		if n, err = t.node(childNo); err != nil {
+			return 0, err
+		}
+	}
+	i := n.search(key)
+	if i < n.nKeys() && n.key(i) == key {
+		return n.val(i), nil
+	}
+	return 0, ErrNotFound
+}
+
+// Scan calls fn for every (key, value) with lo <= key < hi, in key
+// order, until fn returns false.
+func (t *Tree) Scan(lo, hi int64, fn func(key, val int64) bool) error {
+	n, err := t.node(t.root)
+	if err != nil {
+		return err
+	}
+	for depth := 0; n.typ() == nodeInternal; depth++ {
+		if depth >= maxDepth {
+			return fmt.Errorf("btree: descent exceeded %d levels", maxDepth)
+		}
+		i := n.search(lo + 1)
+		var childNo int64
+		if i == 0 {
+			childNo = n.child0()
+		} else {
+			childNo = n.childAt(i)
+		}
+		if n, err = t.node(childNo); err != nil {
+			return err
+		}
+	}
+	for hops := int64(0); ; hops++ {
+		if hops > t.p.NumPages() {
+			return fmt.Errorf("btree: leaf chain longer than the file (cycle?)")
+		}
+		for i := n.search(lo); i < n.nKeys(); i++ {
+			k := n.key(i)
+			if k >= hi {
+				return nil
+			}
+			if !fn(k, n.val(i)) {
+				return nil
+			}
+		}
+		nxt := n.next()
+		if nxt < 0 {
+			return nil
+		}
+		if n, err = t.node(nxt); err != nil {
+			return err
+		}
+	}
+}
+
+// Insert stores value under key, overwriting any existing value.
+// Build-mode pager only.
+func (t *Tree) Insert(key, value int64) error {
+	promoKey, promoChild, err := t.insert(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if promoChild < 0 {
+		return nil
+	}
+	// Root split: new internal root.
+	newRootNo, data, err := t.p.Alloc()
+	if err != nil {
+		return err
+	}
+	nr := node{no: newRootNo, data: data}
+	nr.setTyp(nodeInternal)
+	nr.setNKeys(1)
+	nr.setChild0(t.root)
+	nr.setEntry(0, promoKey, promoChild)
+	t.root = newRootNo
+	meta, err := t.p.Page(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(meta[8:], uint64(newRootNo))
+	return nil
+}
+
+// insert descends into page no; on split it returns the promoted key
+// and new right sibling (promoChild), else promoChild = -1.
+func (t *Tree) insert(no int64, key, value int64) (int64, int64, error) {
+	n, err := t.node(no)
+	if err != nil {
+		return 0, -1, err
+	}
+	if n.typ() == nodeLeaf {
+		i := n.search(key)
+		if i < n.nKeys() && n.key(i) == key {
+			n.setEntry(i, key, value)
+			return 0, -1, nil
+		}
+		if n.nKeys() < maxKeys {
+			leafInsertAt(n, i, key, value)
+			return 0, -1, nil
+		}
+		// Split the leaf.
+		rightNo, data, err := t.p.Alloc()
+		if err != nil {
+			return 0, -1, err
+		}
+		right := node{no: rightNo, data: data}
+		right.setTyp(nodeLeaf)
+		mid := (maxKeys + 1) / 2
+		moved := n.nKeys() - mid
+		for j := 0; j < moved; j++ {
+			right.setEntry(j, n.key(mid+j), n.val(mid+j))
+		}
+		right.setNKeys(moved)
+		right.setNext(n.next())
+		n.setNKeys(mid)
+		n.setNext(rightNo)
+		if key >= right.key(0) {
+			leafInsertAt(right, right.search(key), key, value)
+		} else {
+			leafInsertAt(n, n.search(key), key, value)
+		}
+		return right.key(0), rightNo, nil
+	}
+
+	// Internal node.
+	i := n.search(key + 1)
+	var childNo int64
+	if i == 0 {
+		childNo = n.child0()
+	} else {
+		childNo = n.childAt(i)
+	}
+	promoKey, promoChild, err := t.insert(childNo, key, value)
+	if err != nil || promoChild < 0 {
+		return 0, -1, err
+	}
+	if n.nKeys() < maxKeys-1 {
+		internalInsertAt(n, i, promoKey, promoChild)
+		return 0, -1, nil
+	}
+	// Split the internal node.
+	internalInsertAt(n, i, promoKey, promoChild)
+	nk := n.nKeys()
+	mid := nk / 2
+	upKey := n.key(mid)
+	rightNo, data, err := t.p.Alloc()
+	if err != nil {
+		return 0, -1, err
+	}
+	right := node{no: rightNo, data: data}
+	right.setTyp(nodeInternal)
+	right.setChild0(n.val(mid)) // child right of the promoted key
+	moved := nk - mid - 1
+	for j := 0; j < moved; j++ {
+		right.setEntry(j, n.key(mid+1+j), n.val(mid+1+j))
+	}
+	right.setNKeys(moved)
+	n.setNKeys(mid)
+	return upKey, rightNo, nil
+}
+
+func leafInsertAt(n node, i int, key, value int64) {
+	for j := n.nKeys(); j > i; j-- {
+		n.setEntry(j, n.key(j-1), n.val(j-1))
+	}
+	n.setEntry(i, key, value)
+	n.setNKeys(n.nKeys() + 1)
+}
+
+// internalInsertAt inserts (key, child) so child covers keys >= key;
+// position i is where the child pointer for the descent was found.
+func internalInsertAt(n node, i int, key int64, child int64) {
+	for j := n.nKeys(); j > i; j-- {
+		n.setEntry(j, n.key(j-1), n.val(j-1))
+	}
+	n.setEntry(i, key, child)
+	n.setNKeys(n.nKeys() + 1)
+}
+
+// Height reports the tree height (diagnostics, tests).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	n, err := t.node(t.root)
+	if err != nil {
+		return 0, err
+	}
+	for n.typ() == nodeInternal {
+		if n, err = t.node(n.child0()); err != nil {
+			return 0, err
+		}
+		h++
+	}
+	return h, nil
+}
+
+// Validate checks structural invariants: key ordering within nodes,
+// leaf chaining, and separator correctness.
+func (t *Tree) Validate() error {
+	var prevKey int64
+	first := true
+	seen := 0
+	err := t.Scan(-1<<62, 1<<62, func(k, _ int64) bool {
+		if !first && k <= prevKey {
+			return false
+		}
+		first = false
+		prevKey = k
+		seen++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return t.validateNode(t.root, -1<<62, 1<<62)
+}
+
+func (t *Tree) validateNode(no int64, lo, hi int64) error {
+	n, err := t.node(no)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n.nKeys(); i++ {
+		k := n.key(i)
+		if k < lo || k >= hi {
+			return fmt.Errorf("btree: node %d key %d outside [%d,%d)", no, k, lo, hi)
+		}
+		if i > 0 && k <= n.key(i-1) {
+			return fmt.Errorf("btree: node %d keys out of order", no)
+		}
+	}
+	if n.typ() == nodeLeaf {
+		return nil
+	}
+	for i := 0; i <= n.nKeys(); i++ {
+		cLo, cHi := lo, hi
+		var childNo int64
+		if i == 0 {
+			childNo = n.child0()
+			if n.nKeys() > 0 {
+				cHi = n.key(0)
+			}
+		} else {
+			childNo = n.childAt(i)
+			cLo = n.key(i - 1)
+			if i < n.nKeys() {
+				cHi = n.key(i)
+			}
+		}
+		if err := t.validateNode(childNo, cLo, cHi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package btree
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snode/internal/iosim"
+	"snode/internal/pager"
+	"snode/internal/randutil"
+)
+
+func buildTree(t *testing.T, keys []int64) (*Tree, *pager.Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.idx")
+	p := pager.Create(path)
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := tr.Insert(k, k*10); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	return tr, p, path
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr, _, _ := buildTree(t, []int64{5, 1, 9, 3, 7})
+	for _, k := range []int64{1, 3, 5, 7, 9} {
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		if v != k*10 {
+			t.Fatalf("Get(%d) = %d", k, v)
+		}
+	}
+	if _, err := tr.Get(4); err != ErrNotFound {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr, _, _ := buildTree(t, []int64{1, 2, 3})
+	if err := tr.Insert(2, 999); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Get(2)
+	if err != nil || v != 999 {
+		t.Fatalf("overwrite: %d, %v", v, err)
+	}
+}
+
+func TestLargeRandomInsertAndValidate(t *testing.T) {
+	rng := randutil.NewRNG(42)
+	const n = 50000
+	keys := make([]int64, n)
+	seen := map[int64]bool{}
+	for i := range keys {
+		for {
+			k := rng.Int63() % (1 << 40)
+			if !seen[k] {
+				seen[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	tr, _, _ := buildTree(t, keys)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 || h > 4 {
+		t.Fatalf("height %d unexpected for %d keys with fan-out ~511", h, n)
+	}
+	for i := 0; i < n; i += 97 {
+		v, err := tr.Get(keys[i])
+		if err != nil || v != keys[i]*10 {
+			t.Fatalf("Get(%d) = %d, %v", keys[i], v, err)
+		}
+	}
+}
+
+func TestSequentialInsert(t *testing.T) {
+	// Ascending inserts stress the rightmost-split path.
+	const n = 20000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	tr, _, _ := buildTree(t, keys)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 1, 511, 512, 10000, n - 1} {
+		if v, err := tr.Get(k); err != nil || v != k*10 {
+			t.Fatalf("Get(%d) = %d, %v", k, v, err)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	keys := make([]int64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, int64(i*3)) // 0, 3, 6, ...
+	}
+	tr, _, _ := buildTree(t, keys)
+	var got []int64
+	err := tr.Scan(10, 40, func(k, v int64) bool {
+		got = append(got, k)
+		if v != k*10 {
+			t.Fatalf("scan value mismatch at %d", k)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{12, 15, 18, 21, 24, 27, 30, 33, 36, 39}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan got %v", got)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr, _, _ := buildTree(t, []int64{1, 2, 3, 4, 5})
+	count := 0
+	if err := tr.Scan(0, 100, func(k, v int64) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("early stop after %d", count)
+	}
+}
+
+func TestScanAcrossLeaves(t *testing.T) {
+	// Enough keys to span multiple leaves; the scan must chain them.
+	const n = 3000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	tr, _, _ := buildTree(t, keys)
+	var prev int64 = -1
+	count := 0
+	if err := tr.Scan(0, n, func(k, v int64) bool {
+		if k != prev+1 {
+			t.Fatalf("scan skipped from %d to %d", prev, k)
+		}
+		prev = k
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scanned %d of %d", count, n)
+	}
+}
+
+func TestPersistAndReadOnlyOpen(t *testing.T) {
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = int64(i * 7)
+	}
+	_, p, path := buildTree(t, keys)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acc := iosim.NewAccountant(iosim.Model2002())
+	rp, err := pager.OpenReadOnly(path, acc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	tr, err := Open(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 7, 7 * 2500, 7 * 4999} {
+		v, err := tr.Get(k)
+		if err != nil || v != k*10 {
+			t.Fatalf("reopened Get(%d) = %d, %v", k, v, err)
+		}
+	}
+	if _, err := tr.Get(1); err != ErrNotFound {
+		t.Fatalf("reopened missing key: %v", err)
+	}
+	if acc.Stats().Reads == 0 {
+		t.Fatal("read-only access performed no accounted reads")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after reopen: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.idx")
+	p := pager.Create(path)
+	if _, _, err := p.Alloc(); err != nil { // meta page of zeros
+		t.Fatal(err)
+	}
+	if _, err := Open(p); err == nil {
+		t.Fatal("zero meta page accepted")
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr, _, _ := buildTree(t, []int64{-100, -1, 0, 1, 100})
+	for _, k := range []int64{-100, -1, 0, 1, 100} {
+		if v, err := tr.Get(k); err != nil || v != k*10 {
+			t.Fatalf("Get(%d) = %d, %v", k, v, err)
+		}
+	}
+	var got []int64
+	if err := tr.Scan(-200, 2, func(k, _ int64) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != -100 || got[3] != 1 {
+		t.Fatalf("negative scan got %v", got)
+	}
+}
+
+func TestCorruptPagesError(t *testing.T) {
+	keys := make([]int64, 3000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	_, p, path := buildTree(t, keys)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every node header in turn: the tree must error, not
+	// panic or loop.
+	for pg := 1; pg*pager.PageSize < len(raw); pg++ {
+		for _, mutate := range []func(b []byte){
+			func(b []byte) { b[0] = 0xEE },                        // bad type
+			func(b []byte) { b[2], b[3] = 0xFF, 0xFF },            // absurd key count
+			func(b []byte) { copy(b[8:16], raw[8:16]); b[8] = 1 }, // bogus child/next
+		} {
+			buf := append([]byte(nil), raw...)
+			mutate(buf[pg*pager.PageSize:])
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			acc := iosim.NewAccountant(iosim.Model2002())
+			rp, err := pager.OpenReadOnly(path, acc, 16)
+			if err != nil {
+				continue
+			}
+			tr, err := Open(rp)
+			if err != nil {
+				rp.Close()
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("page %d corruption: panic %v", pg, r)
+					}
+				}()
+				for _, k := range []int64{0, 1500, 2999} {
+					_, _ = tr.Get(k)
+				}
+				_ = tr.Scan(0, 3000, func(_, _ int64) bool { return true })
+			}()
+			rp.Close()
+		}
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

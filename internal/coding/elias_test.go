@@ -1,0 +1,291 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snode/internal/bitio"
+)
+
+func TestGammaRoundTrip(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 7, 8, 15, 16, 255, 256, 1 << 20, 1<<62 + 12345}
+	w := bitio.NewWriter(0)
+	for _, v := range vals {
+		WriteGamma(w, v)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i, want := range vals {
+		got, err := ReadGamma(r)
+		if err != nil {
+			t.Fatalf("ReadGamma %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("gamma %d: got %d, want %d", i, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d bits", r.Remaining())
+	}
+}
+
+func TestGammaLenMatchesEncoding(t *testing.T) {
+	for _, v := range []uint64{1, 2, 3, 7, 8, 100, 1023, 1024, 1 << 40} {
+		w := bitio.NewWriter(0)
+		WriteGamma(w, v)
+		if got, want := w.BitLen(), GammaLen(v); got != want {
+			t.Errorf("GammaLen(%d) = %d, encoded %d bits", v, want, got)
+		}
+	}
+}
+
+func TestGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteGamma(0) did not panic")
+		}
+	}()
+	WriteGamma(bitio.NewWriter(0), 0)
+}
+
+func TestGamma0RoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 100, 1 << 30}
+	w := bitio.NewWriter(0)
+	for _, v := range vals {
+		WriteGamma0(w, v)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i, want := range vals {
+		got, err := ReadGamma0(r)
+		if err != nil || got != want {
+			t.Fatalf("gamma0 %d: got %d, %v; want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 7, 8, 16, 255, 256, 1 << 20, 1<<63 - 1}
+	w := bitio.NewWriter(0)
+	for _, v := range vals {
+		WriteDelta(w, v)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i, want := range vals {
+		got, err := ReadDelta(r)
+		if err != nil {
+			t.Fatalf("ReadDelta %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("delta %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDeltaLenMatchesEncoding(t *testing.T) {
+	for _, v := range []uint64{1, 2, 3, 7, 8, 100, 1023, 1024, 1 << 40} {
+		w := bitio.NewWriter(0)
+		WriteDelta(w, v)
+		if got, want := w.BitLen(), DeltaLen(v); got != want {
+			t.Errorf("DeltaLen(%d) = %d, encoded %d bits", v, want, got)
+		}
+	}
+}
+
+func TestDeltaShorterThanGammaForLargeValues(t *testing.T) {
+	// Delta codes asymptotically beat gamma; check a representative value.
+	v := uint64(1 << 30)
+	if DeltaLen(v) >= GammaLen(v) {
+		t.Fatalf("DeltaLen(%d)=%d not shorter than GammaLen=%d", v, DeltaLen(v), GammaLen(v))
+	}
+}
+
+func TestMinimalBinaryRoundTrip(t *testing.T) {
+	for _, bound := range []uint64{1, 2, 3, 4, 5, 7, 8, 9, 100, 1000} {
+		w := bitio.NewWriter(0)
+		for v := uint64(0); v < bound; v++ {
+			WriteMinimalBinary(w, v, bound)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		for v := uint64(0); v < bound; v++ {
+			got, err := ReadMinimalBinary(r, bound)
+			if err != nil {
+				t.Fatalf("bound %d v %d: %v", bound, v, err)
+			}
+			if got != v {
+				t.Fatalf("bound %d: got %d, want %d", bound, got, v)
+			}
+		}
+	}
+}
+
+func TestMinimalBinaryLenMatchesEncoding(t *testing.T) {
+	for _, bound := range []uint64{2, 3, 5, 6, 7, 9, 100} {
+		for v := uint64(0); v < bound; v++ {
+			w := bitio.NewWriter(0)
+			WriteMinimalBinary(w, v, bound)
+			if got, want := w.BitLen(), MinimalBinaryLen(v, bound); got != want {
+				t.Errorf("bound %d v %d: len %d, encoded %d", bound, v, want, got)
+			}
+		}
+	}
+}
+
+func TestQuickGammaDelta(t *testing.T) {
+	f := func(raw []uint32) bool {
+		w := bitio.NewWriter(0)
+		for _, v := range raw {
+			WriteGamma(w, uint64(v)+1)
+			WriteDelta(w, uint64(v)+1)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		for _, v := range raw {
+			g, err := ReadGamma(r)
+			if err != nil || g != uint64(v)+1 {
+				return false
+			}
+			d, err := ReadDelta(r)
+			if err != nil || d != uint64(v)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapListRoundTrip(t *testing.T) {
+	lists := [][]int32{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{3, 10, 11, 400, 100000},
+	}
+	for _, ids := range lists {
+		w := bitio.NewWriter(0)
+		WriteGapList(w, ids)
+		if got, want := w.BitLen(), GapListLen(ids); got != want {
+			t.Errorf("GapListLen(%v) = %d, encoded %d", ids, want, got)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		out, err := ReadGapList(r, len(ids), nil)
+		if err != nil {
+			t.Fatalf("ReadGapList(%v): %v", ids, err)
+		}
+		if len(out) != len(ids) {
+			t.Fatalf("len %d, want %d", len(out), len(ids))
+		}
+		for i := range ids {
+			if out[i] != ids[i] {
+				t.Fatalf("list %v: element %d = %d", ids, i, out[i])
+			}
+		}
+	}
+}
+
+func TestGapListRejectsNonIncreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing list did not panic")
+		}
+	}()
+	WriteGapList(bitio.NewWriter(0), []int32{5, 5})
+}
+
+func TestQuickGapList(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a strictly increasing list from raw deltas.
+		ids := make([]int32, 0, len(raw))
+		cur := int32(rng.Intn(100))
+		for _, d := range raw {
+			ids = append(ids, cur)
+			cur += int32(d%1000) + 1
+		}
+		w := bitio.NewWriter(0)
+		WriteGapList(w, ids)
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		out, err := ReadGapList(r, len(ids), nil)
+		if err != nil {
+			return false
+		}
+		for i := range ids {
+			if out[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEBitsRoundTrip(t *testing.T) {
+	vecs := [][]bool{
+		nil,
+		{true},
+		{false},
+		{true, true, true},
+		{true, false, true, false},
+		{false, false, true, true, true, false},
+	}
+	for _, v := range vecs {
+		w := bitio.NewWriter(0)
+		WriteRLEBits(w, v)
+		if got, want := w.BitLen(), RLEBitsLen(v); got != want {
+			t.Errorf("RLEBitsLen(%v) = %d, encoded %d", v, want, got)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		out, err := ReadRLEBits(r, len(v), nil)
+		if err != nil {
+			t.Fatalf("ReadRLEBits(%v): %v", v, err)
+		}
+		for i := range v {
+			if out[i] != v[i] {
+				t.Fatalf("vec %v: bit %d", v, i)
+			}
+		}
+	}
+}
+
+func TestRLEBitsCompressesLongRuns(t *testing.T) {
+	v := make([]bool, 10000)
+	for i := 5000; i < 10000; i++ {
+		v[i] = true
+	}
+	if l := RLEBitsLen(v); l > 64 {
+		t.Fatalf("two-run 10000-bit vector encoded in %d bits", l)
+	}
+}
+
+func TestQuickRLEBits(t *testing.T) {
+	f := func(raw []byte) bool {
+		v := make([]bool, 0, len(raw)*3)
+		for _, b := range raw {
+			// Expand each byte into a short run to exercise run coding.
+			val := b&1 == 1
+			for j := 0; j < int(b%5)+1; j++ {
+				v = append(v, val)
+			}
+		}
+		w := bitio.NewWriter(0)
+		WriteRLEBits(w, v)
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		out, err := ReadRLEBits(r, len(v), nil)
+		if err != nil {
+			return false
+		}
+		for i := range v {
+			if out[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

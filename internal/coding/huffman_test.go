@@ -1,0 +1,241 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+
+	"snode/internal/bitio"
+)
+
+func TestHuffmanRoundTripSmall(t *testing.T) {
+	freqs := []int64{50, 30, 10, 5, 3, 2}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []int32{0, 1, 2, 3, 4, 5, 0, 0, 1, 5, 4}
+	w := bitio.NewWriter(0)
+	for _, s := range msg {
+		h.Encode(w, s)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i, want := range msg {
+		got, err := h.Decode(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	h, err := NewHuffman([]int64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	h.Encode(w, 0)
+	h.Encode(w, 0)
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i := 0; i < 2; i++ {
+		s, err := h.Decode(r)
+		if err != nil || s != 0 {
+			t.Fatalf("decode %d: %d, %v", i, s, err)
+		}
+	}
+}
+
+func TestHuffmanEmptyAlphabet(t *testing.T) {
+	if _, err := NewHuffman(nil); err != ErrHuffmanEmpty {
+		t.Fatalf("got %v, want ErrHuffmanEmpty", err)
+	}
+}
+
+func TestHuffmanNegativeFrequency(t *testing.T) {
+	if _, err := NewHuffman([]int64{1, -2}); err == nil {
+		t.Fatal("negative frequency accepted")
+	}
+}
+
+func TestHuffmanZeroFrequenciesGetCodes(t *testing.T) {
+	h, err := NewHuffman([]int64{100, 0, 0, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	for s := int32(0); s < 4; s++ {
+		h.Encode(w, s)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for s := int32(0); s < 4; s++ {
+		got, err := h.Decode(r)
+		if err != nil || got != s {
+			t.Fatalf("symbol %d: got %d, %v", s, got, err)
+		}
+	}
+}
+
+func TestHuffmanHighFrequencyGetsShortCode(t *testing.T) {
+	// The paper assigns short codes to high in-degree pages; verify the
+	// most frequent symbol's code is no longer than any other.
+	freqs := []int64{1000, 3, 2, 1, 1, 1, 1, 1}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(1); s < int32(len(freqs)); s++ {
+		if h.CodeLen(0) > h.CodeLen(s) {
+			t.Fatalf("frequent symbol code len %d > symbol %d len %d",
+				h.CodeLen(0), s, h.CodeLen(s))
+		}
+	}
+}
+
+func TestHuffmanPrefixFree(t *testing.T) {
+	freqs := make([]int64, 40)
+	rng := rand.New(rand.NewSource(7))
+	for i := range freqs {
+		freqs[i] = int64(rng.Intn(1000))
+	}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect (code, len) pairs and check no code is a prefix of another.
+	type cw struct {
+		code uint64
+		len  int
+	}
+	var codes []cw
+	for s := int32(0); s < int32(len(freqs)); s++ {
+		w := bitio.NewWriter(0)
+		h.Encode(w, s)
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		c, _ := r.ReadBits(uint(h.CodeLen(s)))
+		codes = append(codes, cw{c, h.CodeLen(s)})
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.len > b.len {
+				continue
+			}
+			if b.code>>(uint(b.len-a.len)) == a.code {
+				t.Fatalf("code %d is a prefix of code %d", i, j)
+			}
+		}
+	}
+}
+
+func TestHuffmanKraftEquality(t *testing.T) {
+	// A full Huffman tree satisfies the Kraft inequality with equality.
+	freqs := []int64{7, 1, 3, 9, 2, 2, 4, 11, 5}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for s := int32(0); s < int32(len(freqs)); s++ {
+		sum += 1.0 / float64(uint64(1)<<uint(h.CodeLen(s)))
+	}
+	if sum < 0.9999 || sum > 1.0001 {
+		t.Fatalf("Kraft sum = %f, want 1", sum)
+	}
+}
+
+func TestHuffmanOptimalVsFixedWidth(t *testing.T) {
+	// For a skewed distribution, Huffman must beat fixed-width coding.
+	freqs := []int64{10000, 500, 100, 50, 10, 5, 2, 1}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.TotalBits(freqs)
+	var nsyms int64
+	for _, f := range freqs {
+		nsyms += f
+	}
+	fixed := nsyms * 3 // 8 symbols → 3 bits each
+	if total >= fixed {
+		t.Fatalf("huffman %d bits >= fixed-width %d bits", total, fixed)
+	}
+}
+
+func TestHuffmanLargeAlphabetRoundTrip(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewSource(99))
+	freqs := make([]int64, n)
+	for i := range freqs {
+		// Power-law-ish frequencies like web in-degrees.
+		freqs[i] = int64(1 + rng.Intn(3)*rng.Intn(100)*rng.Intn(100))
+	}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]int32, 2000)
+	for i := range msg {
+		msg[i] = int32(rng.Intn(n))
+	}
+	w := bitio.NewWriter(0)
+	for _, s := range msg {
+		h.Encode(w, s)
+	}
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	for i, want := range msg {
+		got, err := h.Decode(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHuffmanTotalBits(t *testing.T) {
+	freqs := []int64{5, 5, 5, 5}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform 4-symbol alphabet: all codes are 2 bits.
+	if got := h.TotalBits(freqs); got != 40 {
+		t.Fatalf("TotalBits = %d, want 40", got)
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 14
+	freqs := make([]int64, n)
+	for i := range freqs {
+		freqs[i] = int64(1 + rng.Intn(1000))
+	}
+	h, err := NewHuffman(freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	const msgLen = 1 << 12
+	for i := 0; i < msgLen; i++ {
+		h.Encode(w, int32(rng.Intn(n)))
+	}
+	buf := w.Bytes()
+	nBits := w.BitLen()
+	r := bitio.NewReader(buf, nBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 64 {
+			r.Reset(buf, nBits)
+		}
+		if _, err := h.Decode(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package coding
+
+import (
+	"math/bits"
+
+	"snode/internal/bitio"
+)
+
+// Zeta codes (Boldi & Vigna, "The WebGraph Framework II"): ζ_k is tuned
+// for the power-law gap distributions of Web-graph adjacency lists,
+// interpolating between gamma (ζ_1) and flatter codes. The value x >= 1
+// with h = floor(log2(x)/k) is written as h+1 in unary followed by
+// x - 2^(hk) in minimal binary over [0, 2^((h+1)k) - 2^(hk)).
+//
+// The S-Node reference encoder can use ζ codes for gap values (see
+// refenc.Options.GapCode) — a post-paper refinement the ablation bench
+// quantifies against the paper's gamma coding.
+
+// WriteZeta appends the ζ_k code of v (v >= 1, k >= 1).
+func WriteZeta(w *bitio.Writer, v uint64, k uint) {
+	if v == 0 {
+		panic("coding: zeta code requires v >= 1")
+	}
+	if k == 0 {
+		panic("coding: zeta requires k >= 1")
+	}
+	h := uint(bits.Len64(v)-1) / k
+	w.WriteUnary(uint64(h))
+	lo := uint64(1) << (h * k)
+	hi := uint64(1) << ((h + 1) * k)
+	WriteMinimalBinary(w, v-lo, hi-lo)
+}
+
+// ReadZeta decodes a ζ_k code.
+func ReadZeta(r *bitio.Reader, k uint) (uint64, error) {
+	if k == 0 {
+		return 0, ErrBadCode
+	}
+	h, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if uint(h+1)*uint(k) > 63 {
+		return 0, ErrBadCode
+	}
+	lo := uint64(1) << (uint(h) * k)
+	hi := uint64(1) << (uint(h+1) * k)
+	off, err := ReadMinimalBinary(r, hi-lo)
+	if err != nil {
+		return 0, err
+	}
+	return lo + off, nil
+}
+
+// ZetaLen reports the bit length of the ζ_k code of v (v >= 1).
+func ZetaLen(v uint64, k uint) int {
+	h := uint(bits.Len64(v)-1) / k
+	lo := uint64(1) << (h * k)
+	hi := uint64(1) << ((h + 1) * k)
+	return int(h) + 1 + MinimalBinaryLen(v-lo, hi-lo)
+}

@@ -1,0 +1,109 @@
+package coding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snode/internal/bitio"
+)
+
+func TestZetaRoundTrip(t *testing.T) {
+	for k := uint(1); k <= 5; k++ {
+		w := bitio.NewWriter(0)
+		vals := []uint64{1, 2, 3, 4, 7, 8, 15, 16, 255, 256, 1 << 20, 1<<40 + 99}
+		for _, v := range vals {
+			WriteZeta(w, v, k)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		for i, want := range vals {
+			got, err := ReadZeta(r, k)
+			if err != nil {
+				t.Fatalf("k=%d val %d: %v", k, i, err)
+			}
+			if got != want {
+				t.Fatalf("k=%d: got %d, want %d", k, got, want)
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("k=%d: %d bits left over", k, r.Remaining())
+		}
+	}
+}
+
+func TestZetaLenMatchesEncoding(t *testing.T) {
+	for k := uint(1); k <= 4; k++ {
+		for _, v := range []uint64{1, 2, 3, 7, 8, 100, 1023, 1024, 1 << 33} {
+			w := bitio.NewWriter(0)
+			WriteZeta(w, v, k)
+			if got, want := w.BitLen(), ZetaLen(v, k); got != want {
+				t.Errorf("ZetaLen(%d, %d) = %d, encoded %d bits", v, k, want, got)
+			}
+		}
+	}
+}
+
+func TestZeta1EqualsGammaLength(t *testing.T) {
+	// ζ_1 is exactly the gamma code length.
+	for _, v := range []uint64{1, 2, 5, 100, 12345, 1 << 30} {
+		if ZetaLen(v, 1) != GammaLen(v) {
+			t.Fatalf("ζ_1(%d) = %d bits, gamma = %d", v, ZetaLen(v, 1), GammaLen(v))
+		}
+	}
+}
+
+func TestZetaBeatsGammaForMidRangeValues(t *testing.T) {
+	// ζ_3 should be shorter than gamma on typical web-gap magnitudes.
+	var zeta3, gamma int
+	for v := uint64(16); v < 4096; v += 7 {
+		zeta3 += ZetaLen(v, 3)
+		gamma += GammaLen(v)
+	}
+	if zeta3 >= gamma {
+		t.Fatalf("ζ_3 total %d bits not below gamma %d over mid-range gaps", zeta3, gamma)
+	}
+}
+
+func TestZetaPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WriteZeta(bitio.NewWriter(0), 0, 2) },
+		func() { WriteZeta(bitio.NewWriter(0), 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad argument did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZetaDecodeCorruptStream(t *testing.T) {
+	// A long unary run implying an overflow shift must error.
+	r := bitio.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, 96)
+	if _, err := ReadZeta(r, 8); err == nil {
+		t.Fatal("overflowing zeta accepted")
+	}
+}
+
+func TestQuickZeta(t *testing.T) {
+	f := func(raw []uint32, kSeed uint8) bool {
+		k := uint(kSeed%5) + 1
+		w := bitio.NewWriter(0)
+		for _, v := range raw {
+			WriteZeta(w, uint64(v)+1, k)
+		}
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		for _, v := range raw {
+			got, err := ReadZeta(r, k)
+			if err != nil || got != uint64(v)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package dbstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"snode/internal/pager"
+)
+
+// Slotted heap pages, as in a classic relational storage engine:
+//
+//	offset 0: uint16 slot count
+//	offset 2: uint16 free-space pointer (start of unused region)
+//	rows grow from offset 4 upward; the slot array grows from the page
+//	end downward, each slot a (uint16 offset, uint16 length) pair.
+const heapHeader = 4
+
+// RID identifies a row: heap page number and slot.
+type RID struct {
+	Page int64
+	Slot uint16
+}
+
+// ridKey packs a RID into the 8-byte B+tree value.
+func ridKey(r RID) int64 { return r.Page<<16 | int64(r.Slot) }
+
+func ridFromKey(v int64) RID {
+	return RID{Page: v >> 16, Slot: uint16(v & 0xFFFF)}
+}
+
+// heapFile appends rows into slotted pages.
+type heapFile struct {
+	p       *pager.Pager
+	curNo   int64
+	curPage []byte
+}
+
+// maxRowSize is the largest row a page can hold.
+const maxRowSize = pager.PageSize - heapHeader - 4
+
+func newHeapFile(p *pager.Pager) *heapFile {
+	return &heapFile{p: p, curNo: -1}
+}
+
+func slotCount(pg []byte) int { return int(binary.LittleEndian.Uint16(pg[0:])) }
+func freePtr(pg []byte) int   { return int(binary.LittleEndian.Uint16(pg[2:])) }
+
+func slotAt(pg []byte, i int) (off, length int) {
+	base := pager.PageSize - 4*(i+1)
+	return int(binary.LittleEndian.Uint16(pg[base:])),
+		int(binary.LittleEndian.Uint16(pg[base+2:]))
+}
+
+// insert appends a row and returns its RID.
+func (h *heapFile) insert(row []byte) (RID, error) {
+	if len(row) > maxRowSize {
+		return RID{}, fmt.Errorf("dbstore: row of %d bytes exceeds page capacity", len(row))
+	}
+	need := len(row) + 4 // row + slot entry
+	if h.curPage == nil || pager.PageSize-4*slotCount(h.curPage)-freePtr(h.curPage) < need {
+		no, pg, err := h.p.Alloc()
+		if err != nil {
+			return RID{}, err
+		}
+		binary.LittleEndian.PutUint16(pg[2:], heapHeader)
+		h.curNo, h.curPage = no, pg
+	}
+	pg := h.curPage
+	ns := slotCount(pg)
+	fp := freePtr(pg)
+	copy(pg[fp:], row)
+	base := pager.PageSize - 4*(ns+1)
+	binary.LittleEndian.PutUint16(pg[base:], uint16(fp))
+	binary.LittleEndian.PutUint16(pg[base+2:], uint16(len(row)))
+	binary.LittleEndian.PutUint16(pg[0:], uint16(ns+1))
+	binary.LittleEndian.PutUint16(pg[2:], uint16(fp+len(row)))
+	return RID{Page: h.curNo, Slot: uint16(ns)}, nil
+}
+
+// get reads the row at rid. The returned slice aliases the buffer-pool
+// frame and must be consumed before the next page access.
+func (h *heapFile) get(rid RID) ([]byte, error) {
+	pg, err := h.p.Page(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	if int(rid.Slot) >= slotCount(pg) {
+		return nil, fmt.Errorf("dbstore: rid %v slot out of range", rid)
+	}
+	off, length := slotAt(pg, int(rid.Slot))
+	if off < heapHeader || off+length > pager.PageSize {
+		return nil, fmt.Errorf("dbstore: rid %v corrupt slot", rid)
+	}
+	return pg[off : off+length], nil
+}

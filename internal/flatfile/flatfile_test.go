@@ -1,0 +1,135 @@
+package flatfile
+
+import (
+	"sort"
+	"testing"
+
+	"snode/internal/iosim"
+	"snode/internal/store"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+func buildSmall(t testing.TB, layout []webgraph.PageID) (*webgraph.Corpus, *Rep) {
+	t.Helper()
+	crawl, err := synth.Generate(synth.DefaultConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout == nil {
+		layout = crawl.Order
+	}
+	dir := t.TempDir()
+	if err := Build(crawl.Corpus, dir, layout); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(crawl.Corpus, dir, layout, 64<<10, iosim.Model2002())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return crawl.Corpus, r
+}
+
+func TestRoundTripCrawlLayout(t *testing.T) {
+	c, r := buildSmall(t, nil)
+	var buf []webgraph.PageID
+	for p := int32(0); int(p) < c.Graph.NumPages(); p++ {
+		var err error
+		buf, err = r.Out(p, buf[:0])
+		if err != nil {
+			t.Fatalf("Out(%d): %v", p, err)
+		}
+		got := append([]webgraph.PageID(nil), buf...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := c.Graph.Out(p)
+		if len(got) != len(want) {
+			t.Fatalf("page %d: %d targets, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("page %d mismatch", p)
+			}
+		}
+	}
+}
+
+func TestCrawlLayoutScattersDomainReads(t *testing.T) {
+	// The point of crawl-order layout: reading a domain's pages in ID
+	// order is NOT sequential on disk.
+	c, r := buildSmall(t, nil)
+	r.ResetCache(8 << 10) // tiny cache: almost every chunk read hits disk
+	var buf []webgraph.PageID
+	reads := 0
+	for p := int32(0); int(p) < c.Graph.NumPages() && reads < 200; p++ {
+		if c.Pages[p].Domain != "stanford.edu" {
+			continue
+		}
+		reads++
+		var err error
+		buf, err = r.Out(p, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reads == 0 {
+		t.Skip("no stanford pages")
+	}
+	st := r.Stats()
+	if st.IO.Seeks < int64(reads)/4 {
+		t.Fatalf("domain scan did only %d seeks for %d pages — layout too clustered",
+			st.IO.Seeks, reads)
+	}
+}
+
+func TestLayoutMismatchDetected(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Build(crawl.Corpus, t.TempDir(), crawl.Order[:10]); err == nil {
+		t.Fatal("short layout accepted")
+	}
+}
+
+func TestNilLayoutIsIDOrder(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(crawl.Corpus, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Open(crawl.Corpus, dir, nil, 64<<10, iosim.Model2002())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	var buf []webgraph.PageID
+	for p := int32(0); p < 100; p++ {
+		buf, err = rep.Out(p, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != crawl.Corpus.Graph.OutDegree(p) {
+			t.Fatalf("page %d degree mismatch", p)
+		}
+	}
+}
+
+func TestSizeAndStats(t *testing.T) {
+	c, r := buildSmall(t, nil)
+	if store.BitsPerEdge(r, c.Graph.NumEdges()) < 32 {
+		t.Fatal("uncompressed representation suspiciously small")
+	}
+	r.ResetCache(8 << 10)
+	var buf []webgraph.PageID
+	if buf, _ = r.Out(0, buf[:0]); r.Stats().IO.Reads == 0 {
+		t.Fatal("no reads accounted")
+	}
+	r.ResetStats()
+	if r.Stats().IO.Reads != 0 {
+		t.Fatal("stats not reset")
+	}
+}

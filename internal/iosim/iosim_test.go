@@ -1,0 +1,177 @@
+package iosim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func tempFile(t *testing.T, size int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.dat")
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSequentialReadsChargeOneSeek(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	f, err := acc.Open(tempFile(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	for i := 0; i < 4; i++ {
+		if _, err := f.ReadAt(buf, int64(i*1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := acc.Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("sequential reads charged %d seeks, want 1", st.Seeks)
+	}
+	if st.BytesRead != 4096 || st.Reads != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRandomReadsChargeSeeks(t *testing.T) {
+	// Disable readahead so every discontiguous read is a seek.
+	m := Model2002()
+	m.SkipFree = 0
+	acc := NewAccountant(m)
+	f, err := acc.Open(tempFile(t, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 128)
+	offsets := []int64{4096, 0, 2048, 6000}
+	for _, off := range offsets {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := acc.Stats(); st.Seeks != 4 {
+		t.Fatalf("random reads charged %d seeks, want 4", st.Seeks)
+	}
+}
+
+func TestShortForwardSkipUsesReadahead(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, BytesPerSecond: 1e6, SkipFree: 1024}
+	acc := NewAccountant(m)
+	f, err := acc.Open(tempFile(t, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 100)
+	if _, err := f.ReadAt(buf, 0); err != nil { // seek 1
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 600); err != nil { // forward gap 500 <= 1024
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 4000); err != nil { // gap 3300 > 1024: seek 2
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 500); err != nil { // backward: seek 3
+		t.Fatal(err)
+	}
+	st := acc.Stats()
+	if st.Seeks != 3 {
+		t.Fatalf("seeks = %d, want 3", st.Seeks)
+	}
+	if st.SkippedBytes != 500 {
+		t.Fatalf("skipped = %d, want 500", st.SkippedBytes)
+	}
+	// Skipped bytes cost transfer time.
+	want := 3*m.Seek + time.Duration(float64(st.BytesRead+500)/1e6*float64(time.Second))
+	if got := st.ModeledTime(m); got != want {
+		t.Fatalf("modeled time %v, want %v", got, want)
+	}
+}
+
+func TestSeparateFilesSeparateArms(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	f1, err := acc.Open(tempFile(t, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	f2, err := acc.Open(tempFile(t, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	buf := make([]byte, 512)
+	// Interleaved but individually sequential per file.
+	for i := 0; i < 3; i++ {
+		if _, err := f1.ReadAt(buf, int64(i*512)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f2.ReadAt(buf, int64(i*512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := acc.Stats(); st.Seeks != 2 {
+		t.Fatalf("per-file sequential reads charged %d seeks, want 2", st.Seeks)
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, BytesPerSecond: 1e6}
+	s := Stats{Seeks: 3, BytesRead: 500000}
+	got := s.ModeledTime(m)
+	want := 30*time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("ModeledTime = %v, want %v", got, want)
+	}
+}
+
+func TestResetKeepsArmPosition(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	f, err := acc.Open(tempFile(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	acc.Reset()
+	if st := acc.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	// Continuing sequentially must not charge a new seek.
+	if _, err := f.ReadAt(buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if st := acc.Stats(); st.Seeks != 0 {
+		t.Fatalf("sequential continuation after reset charged %d seeks", st.Seeks)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	if _, err := acc.Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestSize(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	f, err := acc.Open(tempFile(t, 12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil || sz != 12345 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package kmeans implements k-means clustering over sparse binary
+// vectors, as used by the clustered-split technique (paper §3.2): each
+// page in a partition element is represented by the bit vector of
+// supernodes it points to, and k-means groups pages whose vectors — and
+// hence adjacency lists — are similar.
+//
+// Vectors are sparse: a point is the sorted list of its set dimensions.
+// Centroids are dense within the (small) set of dimensions that occur.
+package kmeans
+
+import (
+	"errors"
+	"sort"
+
+	"snode/internal/randutil"
+)
+
+// Point is a sparse binary vector: the sorted list of set dimensions.
+type Point []int32
+
+// Config bounds the clustering run, mirroring the paper's use of an
+// execution bound with abort ("we place an upper bound on the running
+// time of the algorithm and abort the execution if this bound is
+// exceeded").
+type Config struct {
+	K             int // number of clusters
+	MaxIterations int // abort bound (stands in for the paper's time bound)
+	Seed          uint64
+}
+
+// ErrAborted is returned when the iteration bound is hit before
+// convergence — the signal the partitioner uses to retry with k+2.
+var ErrAborted = errors.New("kmeans: iteration bound exceeded before convergence")
+
+// ErrDegenerate is returned when fewer than two non-empty clusters can
+// be formed (all points identical, or k < 2).
+var ErrDegenerate = errors.New("kmeans: degenerate clustering")
+
+// Result holds the cluster assignment per input point and the number of
+// non-empty clusters, renumbered densely in [0, NumClusters). WithinSS
+// and TotalSS report the within-cluster and total sum of squared
+// distances; their ratio measures how much structure the clustering
+// explains (1.0 = none), which the partitioner uses to reject splits
+// that merely chunk a single homogeneous cloud.
+type Result struct {
+	Assign      []int32
+	NumClusters int
+	WithinSS    float64
+	TotalSS     float64
+}
+
+type centroid struct {
+	weights map[int32]float64 // mean of member vectors, sparse
+	norm2   float64           // squared L2 norm of the centroid
+	count   int
+}
+
+// sqDistance computes ||p - c||^2 = |p| + ||c||^2 - 2*dot(p, c), using
+// |p| because p is binary.
+func sqDistance(p Point, c *centroid) float64 {
+	dot := 0.0
+	for _, d := range p {
+		dot += c.weights[d]
+	}
+	return float64(len(p)) + c.norm2 - 2*dot
+}
+
+// Run clusters the points. Empty points are valid (pages that point to
+// no other supernode) and gravitate to a shared cluster.
+func Run(points []Point, cfg Config) (*Result, error) {
+	n := len(points)
+	if cfg.K < 2 || n < 2 {
+		return nil, ErrDegenerate
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	rng := randutil.NewRNG(cfg.Seed)
+
+	// Initialization: k distinct points chosen by a k-means++-style
+	// spread — pick the first at random, then each next point far from
+	// chosen centroids (sampled among a small candidate set for speed).
+	cents := make([]*centroid, 0, k)
+	addCentroid := func(p Point) {
+		c := &centroid{weights: map[int32]float64{}, count: 1}
+		for _, d := range p {
+			c.weights[d] = 1
+		}
+		c.norm2 = float64(len(p))
+		cents = append(cents, c)
+	}
+	addCentroid(points[rng.Intn(n)])
+	for len(cents) < k {
+		best, bestDist := -1, -1.0
+		for try := 0; try < 8; try++ {
+			cand := rng.Intn(n)
+			d := sqDistance(points[cand], cents[0])
+			for _, c := range cents[1:] {
+				if dd := sqDistance(points[cand], c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				best, bestDist = cand, d
+			}
+		}
+		addCentroid(points[best])
+	}
+
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	converged := false
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		changed := 0
+		for i, p := range points {
+			best, bestD := 0, sqDistance(p, cents[0])
+			for ci := 1; ci < len(cents); ci++ {
+				if d := sqDistance(p, cents[ci]); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != int32(best) {
+				assign[i] = int32(best)
+				changed++
+			}
+		}
+		if changed == 0 {
+			converged = true
+			break
+		}
+		// Recompute centroids.
+		for _, c := range cents {
+			c.weights = map[int32]float64{}
+			c.norm2 = 0
+			c.count = 0
+		}
+		for i, p := range points {
+			c := cents[assign[i]]
+			c.count++
+			for _, d := range p {
+				c.weights[d]++
+			}
+		}
+		for _, c := range cents {
+			if c.count == 0 {
+				continue
+			}
+			inv := 1.0 / float64(c.count)
+			c.norm2 = 0
+			for d, w := range c.weights {
+				w *= inv
+				c.weights[d] = w
+				c.norm2 += w * w
+			}
+		}
+	}
+
+	// Final scatter statistics.
+	var withinSS float64
+	for i, p := range points {
+		withinSS += sqDistance(p, cents[assign[i]])
+	}
+	global := &centroid{weights: map[int32]float64{}, count: n}
+	for _, p := range points {
+		for _, d := range p {
+			global.weights[d]++
+		}
+	}
+	inv := 1.0 / float64(n)
+	for d, w := range global.weights {
+		w *= inv
+		global.weights[d] = w
+		global.norm2 += w * w
+	}
+	var totalSS float64
+	for _, p := range points {
+		totalSS += sqDistance(p, global)
+	}
+
+	// Renumber non-empty clusters densely.
+	remap := map[int32]int32{}
+	for _, a := range assign {
+		if _, ok := remap[a]; !ok {
+			remap[a] = int32(len(remap))
+		}
+	}
+	if len(remap) < 2 {
+		return nil, ErrDegenerate
+	}
+	out := make([]int32, n)
+	for i, a := range assign {
+		out[i] = remap[a]
+	}
+	res := &Result{Assign: out, NumClusters: len(remap), WithinSS: withinSS, TotalSS: totalSS}
+	if !converged {
+		return res, ErrAborted
+	}
+	return res, nil
+}
+
+// SortPoint normalizes a point in place (sorts and deduplicates its
+// dimensions) and returns it; builders use this before calling Run.
+func SortPoint(p Point) Point {
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	k := 0
+	for i := range p {
+		if i == 0 || p[i] != p[i-1] {
+			p[k] = p[i]
+			k++
+		}
+	}
+	return p[:k]
+}

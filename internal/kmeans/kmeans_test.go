@@ -1,0 +1,159 @@
+package kmeans
+
+import (
+	"testing"
+
+	"snode/internal/randutil"
+)
+
+// twoBlobs builds points from two well-separated binary clusters:
+// cluster A uses dimensions 0..9, cluster B uses 100..109.
+func twoBlobs(nA, nB int, seed uint64) ([]Point, []int) {
+	rng := randutil.NewRNG(seed)
+	var pts []Point
+	var truth []int
+	for i := 0; i < nA; i++ {
+		var p Point
+		for d := int32(0); d < 10; d++ {
+			if rng.Bool(0.7) {
+				p = append(p, d)
+			}
+		}
+		pts = append(pts, p)
+		truth = append(truth, 0)
+	}
+	for i := 0; i < nB; i++ {
+		var p Point
+		for d := int32(100); d < 110; d++ {
+			if rng.Bool(0.7) {
+				p = append(p, d)
+			}
+		}
+		pts = append(pts, p)
+		truth = append(truth, 1)
+	}
+	return pts, truth
+}
+
+func TestSeparatesTwoBlobs(t *testing.T) {
+	pts, truth := twoBlobs(40, 40, 1)
+	res, err := Run(pts, Config{K: 2, MaxIterations: 100, Seed: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d", res.NumClusters)
+	}
+	// All of blob A must share a label, and differ from blob B.
+	missed := 0
+	a0 := res.Assign[0]
+	for i, tr := range truth {
+		want := a0
+		if tr == 1 {
+			want = 1 - a0
+		}
+		if res.Assign[i] != want {
+			missed++
+		}
+	}
+	if missed > 4 {
+		t.Fatalf("%d/80 points misclustered", missed)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts, _ := twoBlobs(30, 30, 3)
+	r1, err1 := Run(pts, Config{K: 3, MaxIterations: 50, Seed: 7})
+	r2, err2 := Run(pts, Config{K: 3, MaxIterations: 50, Seed: 7})
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("errors differ: %v vs %v", err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatalf("assignment diverges at %d", i)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := Run(nil, Config{K: 2}); err != ErrDegenerate {
+		t.Fatalf("empty input: %v", err)
+	}
+	if _, err := Run([]Point{{1}, {2}}, Config{K: 1}); err != ErrDegenerate {
+		t.Fatalf("k=1: %v", err)
+	}
+	// All-identical points collapse to one cluster.
+	same := []Point{{1, 2}, {1, 2}, {1, 2}, {1, 2}}
+	if _, err := Run(same, Config{K: 2, MaxIterations: 50, Seed: 1}); err != ErrDegenerate {
+		t.Fatalf("identical points: %v", err)
+	}
+}
+
+func TestEmptyPointsAllowed(t *testing.T) {
+	pts := []Point{{}, {}, {1, 2, 3}, {1, 2, 3}, {1, 2}}
+	res, err := Run(pts, Config{K: 2, MaxIterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Assign[0] != res.Assign[1] {
+		t.Fatal("two empty points split across clusters")
+	}
+	if res.Assign[0] == res.Assign[2] {
+		t.Fatal("empty and dense points merged")
+	}
+}
+
+func TestAbortOnIterationBound(t *testing.T) {
+	// With MaxIterations=1 on non-trivial data, the first pass changes
+	// assignments and cannot also verify convergence → ErrAborted.
+	pts, _ := twoBlobs(50, 50, 9)
+	_, err := Run(pts, Config{K: 2, MaxIterations: 1, Seed: 11})
+	if err != ErrAborted {
+		t.Fatalf("got %v, want ErrAborted", err)
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	pts := []Point{{1}, {2}, {3}}
+	res, err := Run(pts, Config{K: 10, MaxIterations: 50, Seed: 13})
+	if err != nil && err != ErrAborted {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumClusters > 3 {
+		t.Fatalf("more clusters than points: %d", res.NumClusters)
+	}
+}
+
+func TestAssignmentsDense(t *testing.T) {
+	pts, _ := twoBlobs(20, 20, 17)
+	res, err := Run(pts, Config{K: 4, MaxIterations: 100, Seed: 19})
+	if err != nil && err != ErrAborted {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, a := range res.Assign {
+		if a < 0 || int(a) >= res.NumClusters {
+			t.Fatalf("label %d out of range [0,%d)", a, res.NumClusters)
+		}
+		seen[a] = true
+	}
+	if len(seen) != res.NumClusters {
+		t.Fatalf("labels not dense: %d seen, %d claimed", len(seen), res.NumClusters)
+	}
+}
+
+func TestSortPoint(t *testing.T) {
+	p := SortPoint(Point{5, 1, 3, 1, 5})
+	want := Point{1, 3, 5}
+	if len(p) != len(want) {
+		t.Fatalf("len %d", len(p))
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("got %v", p)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package link3
+
+import (
+	"sort"
+	"testing"
+
+	"snode/internal/iosim"
+	"snode/internal/store"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+func buildSmall(t testing.TB, budget int64) (*webgraph.Corpus, *Rep) {
+	t.Helper()
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(crawl.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(crawl.Corpus, dir, budget, iosim.Model2002())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return crawl.Corpus, r
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, r := buildSmall(t, 1<<20)
+	var buf []webgraph.PageID
+	for p := int32(0); int(p) < c.Graph.NumPages(); p++ {
+		var err error
+		buf, err = r.Out(p, buf[:0])
+		if err != nil {
+			t.Fatalf("Out(%d): %v", p, err)
+		}
+		got := append([]webgraph.PageID(nil), buf...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := c.Graph.Out(p)
+		if len(got) != len(want) {
+			t.Fatalf("page %d: %d targets, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("page %d mismatch", p)
+			}
+		}
+	}
+}
+
+func TestBlockSharingWithinBlock(t *testing.T) {
+	// Consecutive pages live in one block: after the first access the
+	// rest are cache hits (no new loads).
+	_, r := buildSmall(t, 1<<20)
+	r.ResetCache(1 << 20)
+	var buf []webgraph.PageID
+	if _, err := r.Out(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	loadsAfterFirst := r.Stats().GraphsLoaded
+	for p := int32(1); p < BlockSize && int(p) < r.NumPages(); p++ {
+		if _, err := r.Out(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Stats().GraphsLoaded; got != loadsAfterFirst {
+		t.Fatalf("same-block accesses loaded %d extra blocks", got-loadsAfterFirst)
+	}
+}
+
+func TestTinyCacheStillCorrect(t *testing.T) {
+	c, r := buildSmall(t, 1) // evict constantly
+	var buf []webgraph.PageID
+	for p := int32(0); int(p) < c.Graph.NumPages(); p += 101 {
+		var err error
+		buf, err = r.Out(p, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != c.Graph.OutDegree(p) {
+			t.Fatalf("page %d degree mismatch under eviction", p)
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	c, r := buildSmall(t, 1<<20)
+	bpe := store.BitsPerEdge(r, c.Graph.NumEdges())
+	if bpe <= 0 || bpe >= 32 {
+		t.Fatalf("bits/edge = %.2f", bpe)
+	}
+}
+
+func TestDecodedEdgesCounter(t *testing.T) {
+	_, r := buildSmall(t, 1<<20)
+	r.ResetCache(1 << 20)
+	var buf []webgraph.PageID
+	if _, err := r.Out(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.DecodedEdges() == 0 {
+		t.Fatal("no decoded edges counted")
+	}
+	r.ResetStats()
+	if r.DecodedEdges() != 0 {
+		t.Fatal("counter not reset")
+	}
+}
+
+func TestOpenRejectsCorruptDirectory(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(crawl.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	// A corpus with a different page count must be rejected.
+	other, err := synth.Generate(synth.DefaultConfig(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(other.Corpus, dir, 1<<20, iosim.Model2002()); err == nil {
+		t.Fatal("mismatched corpus accepted")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	_, r := buildSmall(t, 1<<20)
+	if _, err := r.Out(-1, nil); err == nil {
+		t.Fatal("negative page accepted")
+	}
+}

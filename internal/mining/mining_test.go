@@ -1,0 +1,168 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+func TestHITSHubAndAuthority(t *testing.T) {
+	// 0, 1, 2 are hubs pointing at authorities 3, 4.
+	b := webgraph.NewBuilder(5)
+	for h := int32(0); h < 3; h++ {
+		b.AddEdge(h, 3)
+		b.AddEdge(h, 4)
+	}
+	g := b.Build()
+	res := HITS(g, []webgraph.PageID{0, 1, 2, 3, 4}, 50)
+	idx := map[webgraph.PageID]int{}
+	for i, p := range res.Pages {
+		idx[p] = i
+	}
+	for h := webgraph.PageID(0); h < 3; h++ {
+		if res.Hub[idx[h]] <= res.Hub[idx[3]] {
+			t.Fatalf("page %d hub score %f not above authority's %f",
+				h, res.Hub[idx[h]], res.Hub[idx[3]])
+		}
+	}
+	for _, a := range []webgraph.PageID{3, 4} {
+		if res.Authority[idx[a]] <= res.Authority[idx[0]] {
+			t.Fatalf("authority %d score %f not above hub's", a, res.Authority[idx[a]])
+		}
+	}
+	// L2 normalization.
+	var s float64
+	for _, v := range res.Authority {
+		s += v * v
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Fatalf("authority norm² = %f", s)
+	}
+}
+
+func TestHITSRestrictedToBase(t *testing.T) {
+	// Links to pages outside the base set must not contribute.
+	b := webgraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 3) // 3 outside base
+	g := b.Build()
+	res := HITS(g, []webgraph.PageID{0, 1, 2}, 20)
+	if len(res.Pages) != 3 {
+		t.Fatalf("base size %d", len(res.Pages))
+	}
+	for _, p := range res.Pages {
+		if p == 3 {
+			t.Fatal("outside page included")
+		}
+	}
+}
+
+func TestHITSDeduplicatesBase(t *testing.T) {
+	b := webgraph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	res := HITS(b.Build(), []webgraph.PageID{1, 0, 1, 0}, 10)
+	if len(res.Pages) != 2 {
+		t.Fatalf("dedup failed: %v", res.Pages)
+	}
+}
+
+func TestTrawlFindsPlantedCore(t *testing.T) {
+	// Plant a (4,3) core: fans 0-3 each link to centers 10-12.
+	b := webgraph.NewBuilder(20)
+	for f := int32(0); f < 4; f++ {
+		for c := int32(10); c < 13; c++ {
+			b.AddEdge(f, c)
+		}
+	}
+	// Background noise.
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(15, 16)
+	g := b.Build()
+	cores := TrawlCores(g, 4, 3, 10)
+	if len(cores) == 0 {
+		t.Fatal("planted core not found")
+	}
+	found := false
+	for _, core := range cores {
+		if len(core.Fans) >= 4 && len(core.Centers) == 3 {
+			found = true
+			for _, f := range core.Fans {
+				for _, c := range core.Centers {
+					if !g.HasEdge(f, c) {
+						t.Fatalf("fan %d does not link to center %d", f, c)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no complete core among %d results", len(cores))
+	}
+}
+
+func TestTrawlNoCoreInSparseGraph(t *testing.T) {
+	b := webgraph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if cores := TrawlCores(b.Build(), 3, 3, 10); len(cores) != 0 {
+		t.Fatalf("found %d cores in a sparse graph", len(cores))
+	}
+}
+
+func TestTrawlRejectsTrivialParams(t *testing.T) {
+	b := webgraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	if cores := TrawlCores(b.Build(), 1, 1, 10); cores != nil {
+		t.Fatal("s,t < 2 accepted")
+	}
+}
+
+func TestBowTieDecompose(t *testing.T) {
+	// IN = {0}, SCC = {1,2,3}, OUT = {4}, disconnected = {5}.
+	b := webgraph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 1)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	bt := BowTieDecompose(g)
+	if bt.SCC != 3 || bt.In != 1 || bt.Out != 1 || bt.Rest != 1 {
+		t.Fatalf("bow-tie = %+v", bt)
+	}
+}
+
+func TestBowTieSumsToN(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := crawl.Corpus.Graph
+	bt := BowTieDecompose(g)
+	if bt.SCC+bt.In+bt.Out+bt.Rest != g.NumPages() {
+		t.Fatalf("bow-tie does not partition: %+v", bt)
+	}
+	if bt.SCC == 0 {
+		t.Fatal("no giant SCC in a web-like graph")
+	}
+}
+
+func TestEstimateDiameter(t *testing.T) {
+	// Path graph of length 9: diameter 9 from vertex 0.
+	b := webgraph.NewBuilder(10)
+	for i := int32(0); i < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	// Enough samples to hit vertex 0 with high probability.
+	d := EstimateDiameter(g, 50, 1)
+	if d < 5 || d > 9 {
+		t.Fatalf("diameter estimate %d outside [5,9]", d)
+	}
+	if EstimateDiameter(g, 0, 1) != 0 {
+		t.Fatal("zero samples should estimate 0")
+	}
+}

@@ -1,0 +1,122 @@
+package pager
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+
+	"snode/internal/iosim"
+)
+
+func TestBuildAndReadBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.dat")
+	p := Create(path)
+	for i := 0; i < 10; i++ {
+		no, pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if no != int64(i) {
+			t.Fatalf("Alloc returned %d, want %d", no, i)
+		}
+		binary.LittleEndian.PutUint64(pg, uint64(i*1000))
+	}
+	// Pages are readable (and writable) before Close.
+	pg, err := p.Page(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(pg) != 3000 {
+		t.Fatal("build-mode read mismatch")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	acc := iosim.NewAccountant(iosim.Model2002())
+	r, err := OpenReadOnly(path, acc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumPages() != 10 {
+		t.Fatalf("NumPages = %d", r.NumPages())
+	}
+	for i := 9; i >= 0; i-- {
+		pg, err := r.Page(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(pg) != uint64(i*1000) {
+			t.Fatalf("page %d content mismatch", i)
+		}
+	}
+	if r.Loads() != 10 {
+		t.Fatalf("Loads = %d, want 10 cold misses", r.Loads())
+	}
+	// Re-reading a recent page hits the pool.
+	before := r.Loads()
+	if _, err := r.Page(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Loads() != before {
+		t.Fatal("pool did not cache")
+	}
+}
+
+func TestPoolEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.dat")
+	p := Create(path)
+	for i := 0; i < 8; i++ {
+		if _, _, err := p.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acc := iosim.NewAccountant(iosim.Model2002())
+	r, err := OpenReadOnly(path, acc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Cycle through more pages than frames: every access misses.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := r.Page(int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if r.Loads() < 6 {
+		t.Fatalf("expected thrashing with 2 frames, loads = %d", r.Loads())
+	}
+}
+
+func TestReadOnlyRejectsAlloc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.dat")
+	p := Create(path)
+	if _, _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acc := iosim.NewAccountant(iosim.Model2002())
+	r, err := OpenReadOnly(path, acc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Alloc(); err != ErrReadOnly {
+		t.Fatalf("Alloc on read-only: %v", err)
+	}
+}
+
+func TestPageOutOfRange(t *testing.T) {
+	p := Create(filepath.Join(t.TempDir(), "p.dat"))
+	if _, err := p.Page(0); err == nil {
+		t.Fatal("empty pager served page 0")
+	}
+}

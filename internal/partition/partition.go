@@ -1,0 +1,446 @@
+// Package partition implements the iterative partition refinement of
+// paper §3.2, which computes the page grouping an S-Node representation
+// is built from:
+//
+//  1. The initial partition P0 groups pages by registered domain (top
+//     two DNS levels).
+//  2. Each iteration picks a random element and splits it, using URL
+//     split (group by URL prefix, one directory deeper each time, up to
+//     3 levels) while prefixes remain useful, then clustered split
+//     (k-means over adjacency-to-supernode bit vectors, k initialized to
+//     the element's supernode out-degree and incremented by 2 on abort).
+//  3. Refinement stops after abortmax consecutive failed clustered
+//     splits, with abortmax a fixed fraction (default 6%) of the element
+//     count.
+//
+// The resulting partition satisfies the paper's three properties: pages
+// with similar adjacency lists grouped together, domain purity, and
+// lexicographic URL locality within elements.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"snode/internal/kmeans"
+	"snode/internal/randutil"
+	"snode/internal/urlutil"
+	"snode/internal/webgraph"
+)
+
+// StoppingRule selects how refinement decides it is done.
+type StoppingRule int
+
+const (
+	// StopExhaustive tracks the set of still-splittable elements
+	// explicitly and stops when it is empty — the paper's "ideal
+	// stopping point", which it approximates with abortmax because
+	// checking it at their scale was prohibitive. At our scale it is
+	// affordable and removes stochastic early termination.
+	StopExhaustive StoppingRule = iota
+	// StopAbortMax is the paper's criterion: stop after abortmax
+	// consecutive clustered-split aborts, abortmax a fraction of the
+	// element count.
+	StopAbortMax
+)
+
+// Config controls refinement. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	Seed uint64
+	// Stopping selects the termination rule.
+	Stopping StoppingRule
+	// AbortMaxFrac sets abortmax as a fraction of the element count
+	// (paper: 6%); used when Stopping == StopAbortMax.
+	AbortMaxFrac float64
+	// MaxURLDepth is the deepest directory level URL split uses
+	// (paper: 3).
+	MaxURLDepth int
+	// MinSplitSize: elements smaller than this are never split (they
+	// count as clustered-split aborts, matching the paper's "unable to
+	// further split").
+	MinSplitSize int
+	// KMeansMaxIter bounds each k-means run (stands in for the paper's
+	// wall-clock bound).
+	KMeansMaxIter int
+	// KMeansAttempts is how many times clustered split retries with
+	// k+2 before aborting (paper: "a fixed number of attempts").
+	KMeansAttempts int
+	// MaxClusterK aborts clustered split outright when the initial k
+	// (the element's supernode out-degree) exceeds this bound — the
+	// analog of the paper's wall-clock bound, which k-means with very
+	// large k would always exceed.
+	MaxClusterK int
+	// SplitQuality is the maximum WithinSS/TotalSS ratio a clustered
+	// split may have to be accepted: a split that barely reduces
+	// scatter is chunking one homogeneous cloud, not discovering
+	// adjacency-list structure, and is treated as an abort.
+	SplitQuality float64
+	// MaxIterations is a safety cap on refinement iterations.
+	MaxIterations int
+}
+
+// DefaultConfig returns the configuration used throughout the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		AbortMaxFrac:   0.06,
+		MaxURLDepth:    3,
+		MinSplitSize:   256,
+		KMeansMaxIter:  30,
+		KMeansAttempts: 3,
+		MaxClusterK:    8,
+		SplitQuality:   0.65,
+	}
+}
+
+// Element is one member of a partition: a set of pages from a single
+// domain.
+type Element struct {
+	Pages []webgraph.PageID // sorted ascending
+	// depth is the URL-prefix depth the NEXT URL split should use;
+	// clusterOnly marks elements past MaxURLDepth.
+	depth       int
+	clusterOnly bool
+}
+
+// Partition is the refinement result.
+type Partition struct {
+	Elements []Element
+	// Assign maps every page to its element index.
+	Assign []int32
+	// Stats from the run.
+	Iterations      int
+	URLSplits       int
+	ClusteredSplits int
+	Aborts          int
+}
+
+// NumElements reports the number of partition elements (supernodes).
+func (p *Partition) NumElements() int { return len(p.Elements) }
+
+// Validate checks the partition invariants: every page in exactly one
+// element, Assign consistent, elements domain-pure and sorted.
+func (p *Partition) Validate(c *webgraph.Corpus) error {
+	n := c.Graph.NumPages()
+	if len(p.Assign) != n {
+		return fmt.Errorf("partition: Assign length %d != %d pages", len(p.Assign), n)
+	}
+	seen := make([]bool, n)
+	for ei, e := range p.Elements {
+		if len(e.Pages) == 0 {
+			return fmt.Errorf("partition: element %d empty", ei)
+		}
+		dom := c.Pages[e.Pages[0]].Domain
+		for i, pg := range e.Pages {
+			if i > 0 && e.Pages[i-1] >= pg {
+				return fmt.Errorf("partition: element %d pages not sorted", ei)
+			}
+			if seen[pg] {
+				return fmt.Errorf("partition: page %d in two elements", pg)
+			}
+			seen[pg] = true
+			if p.Assign[pg] != int32(ei) {
+				return fmt.Errorf("partition: Assign[%d]=%d, element %d", pg, p.Assign[pg], ei)
+			}
+			if c.Pages[pg].Domain != dom {
+				return fmt.Errorf("partition: element %d mixes domains %s and %s",
+					ei, dom, c.Pages[pg].Domain)
+			}
+		}
+	}
+	for pg, ok := range seen {
+		if !ok {
+			return fmt.Errorf("partition: page %d unassigned", pg)
+		}
+	}
+	return nil
+}
+
+// InitialByDomain computes P0: one element per registered domain.
+// Page IDs are assigned in (domain, URL) order by the generator, so
+// each domain is a contiguous ID range; the implementation nevertheless
+// only relies on the Domain metadata.
+func InitialByDomain(c *webgraph.Corpus) *Partition {
+	n := c.Graph.NumPages()
+	byDomain := map[string][]webgraph.PageID{}
+	var order []string
+	for pid := 0; pid < n; pid++ {
+		d := c.Pages[pid].Domain
+		if _, ok := byDomain[d]; !ok {
+			order = append(order, d)
+		}
+		byDomain[d] = append(byDomain[d], webgraph.PageID(pid))
+	}
+	sort.Strings(order)
+	p := &Partition{Assign: make([]int32, n)}
+	for _, d := range order {
+		pages := byDomain[d]
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		ei := int32(len(p.Elements))
+		for _, pg := range pages {
+			p.Assign[pg] = ei
+		}
+		p.Elements = append(p.Elements, Element{Pages: pages, depth: 0})
+	}
+	return p
+}
+
+// Refine runs the full iterative refinement and returns the final
+// partition.
+func Refine(c *webgraph.Corpus, cfg Config) (*Partition, error) {
+	if cfg.MinSplitSize < 2 || (cfg.Stopping == StopAbortMax && cfg.AbortMaxFrac <= 0) {
+		return nil, fmt.Errorf("partition: invalid config %+v", cfg)
+	}
+	p := InitialByDomain(c)
+	rng := randutil.NewRNG(cfg.Seed)
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200 * (1 + c.Graph.NumPages()/cfg.MinSplitSize)
+	}
+
+	// candidates holds the elements not yet known to be unsplittable.
+	// splittable[i] mirrors membership so stale queue entries are cheap
+	// to detect after splits.
+	candidates := make([]int, len(p.Elements))
+	splittable := make([]bool, len(p.Elements))
+	for i := range candidates {
+		candidates[i] = i
+		splittable[i] = true
+	}
+	markUnsplittable := func(ei int) {
+		splittable[ei] = false
+	}
+	addElements := func(from int) {
+		for i := from; i < len(p.Elements); i++ {
+			candidates = append(candidates, i)
+			splittable = append(splittable, true)
+		}
+	}
+
+	consecutiveAborts := 0
+	for iter := 0; iter < maxIter; iter++ {
+		if cfg.Stopping == StopAbortMax {
+			abortMax := int(cfg.AbortMaxFrac * float64(len(p.Elements)))
+			if abortMax < 1 {
+				abortMax = 1
+			}
+			if consecutiveAborts >= abortMax {
+				break
+			}
+		}
+		// Pick a random live candidate (the paper's random element
+		// selection, restricted to elements not yet known-unsplittable),
+		// discarding stale entries along the way.
+		ei := -1
+		for len(candidates) > 0 {
+			j := rng.Intn(len(candidates))
+			if splittable[candidates[j]] {
+				ei = candidates[j]
+				break
+			}
+			candidates[j] = candidates[len(candidates)-1]
+			candidates = candidates[:len(candidates)-1]
+		}
+		if ei == -1 {
+			break
+		}
+		e := &p.Elements[ei]
+		p.Iterations++
+
+		// URL split is cheap and applies regardless of element size; a
+		// shallow crawl of a domain still separates into its top-level
+		// directories. Only clustered split is size-gated below.
+		if !e.clusterOnly {
+			nBefore := len(p.Elements)
+			groups := urlSplit(c, e, cfg.MaxURLDepth)
+			if groups != nil {
+				applySplit(p, ei, groups)
+				addElements(nBefore)
+				p.URLSplits++
+				consecutiveAborts = 0
+				continue
+			}
+			// No useful prefix remains; fall through to clustered split.
+			e.clusterOnly = true
+		}
+		if len(e.Pages) < cfg.MinSplitSize {
+			markUnsplittable(ei)
+			consecutiveAborts++
+			p.Aborts++
+			continue
+		}
+		nBefore := len(p.Elements)
+		groups := clusteredSplit(c, p, ei, cfg, rng)
+		if groups == nil {
+			markUnsplittable(ei)
+			consecutiveAborts++
+			p.Aborts++
+			continue
+		}
+		applySplit(p, ei, groups)
+		addElements(nBefore)
+		p.ClusteredSplits++
+		consecutiveAborts = 0
+	}
+	return p, nil
+}
+
+// urlSplit groups the element's pages by URL prefix, starting at the
+// element's next depth and deepening until some depth separates the
+// pages (or maxDepth is exhausted). It returns nil when no prefix up to
+// maxDepth splits the element; otherwise the resulting groups, each
+// tagged with the depth to use next.
+func urlSplit(c *webgraph.Corpus, e *Element, maxDepth int) []Element {
+	for depth := e.depth; depth <= maxDepth; depth++ {
+		groups := map[string][]webgraph.PageID{}
+		var order []string
+		for _, pg := range e.Pages {
+			pref := urlutil.PrefixAtDepth(c.Pages[pg].URL, depth)
+			if _, ok := groups[pref]; !ok {
+				order = append(order, pref)
+			}
+			groups[pref] = append(groups[pref], pg)
+		}
+		if len(groups) < 2 {
+			continue
+		}
+		sort.Strings(order)
+		out := make([]Element, 0, len(groups))
+		for _, pref := range order {
+			pages := groups[pref]
+			sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+			out = append(out, Element{
+				Pages:       pages,
+				depth:       depth + 1,
+				clusterOnly: depth+1 > maxDepth,
+			})
+		}
+		return out
+	}
+	return nil
+}
+
+// clusteredSplit runs the paper's k-means procedure: bit vectors over
+// the element's out-supernodes, k starting at the supernode out-degree,
+// retried with k+2 on abort. Returns nil when the split fails.
+func clusteredSplit(c *webgraph.Corpus, p *Partition, ei int, cfg Config, rng *randutil.RNG) []Element {
+	e := &p.Elements[ei]
+	// Build sparse adjacency-to-supernode signatures. Dimensions are
+	// target element indices, densified.
+	dimOf := map[int32]int32{}
+	points := make([]kmeans.Point, len(e.Pages))
+	for i, pg := range e.Pages {
+		var pt kmeans.Point
+		for _, q := range c.Graph.Out(pg) {
+			te := p.Assign[q]
+			if te == int32(ei) {
+				continue // intranode links are not part of the signature
+			}
+			d, ok := dimOf[te]
+			if !ok {
+				d = int32(len(dimOf))
+				dimOf[te] = d
+			}
+			pt = append(pt, d)
+		}
+		points[i] = kmeans.SortPoint(pt)
+	}
+	k := len(dimOf) // supernode out-degree of this element (paper's k)
+	if k < 2 {
+		k = 2
+	}
+	// The paper bounds each k-means run by wall-clock time; with very
+	// large k the bound is always exceeded, so in practice k is capped
+	// by what the budget affords.
+	if cfg.MaxClusterK > 0 && k > cfg.MaxClusterK {
+		k = cfg.MaxClusterK
+	}
+	if k > len(e.Pages)/2 {
+		k = len(e.Pages) / 2
+	}
+	minChild := cfg.MinSplitSize / 3
+	if minChild < 2 {
+		minChild = 2
+	}
+	for attempt := 0; attempt < cfg.KMeansAttempts; attempt++ {
+		res, err := kmeans.Run(points, kmeans.Config{
+			K:             k + 2*attempt,
+			MaxIterations: cfg.KMeansMaxIter,
+			Seed:          rng.Uint64(),
+		})
+		if err == kmeans.ErrDegenerate {
+			return nil // cannot split: identical signatures
+		}
+		if err == kmeans.ErrAborted {
+			continue // paper: increase k by 2 and repeat
+		}
+		if err != nil {
+			return nil
+		}
+		if res.NumClusters < 2 {
+			return nil
+		}
+		if cfg.SplitQuality > 0 && res.TotalSS > 0 &&
+			res.WithinSS > cfg.SplitQuality*res.TotalSS {
+			return nil // no real cluster structure at this granularity
+		}
+		out := make([]Element, res.NumClusters)
+		for i, pg := range e.Pages {
+			ci := res.Assign[i]
+			out[ci].Pages = append(out[ci].Pages, pg)
+		}
+		// Merge fragments: clusters smaller than minChild reflect noise,
+		// not adjacency-list structure; folding them into the largest
+		// cluster keeps elements at useful sizes (the paper's partitions
+		// average hundreds of pages per element).
+		largest := 0
+		for i := 1; i < len(out); i++ {
+			if len(out[i].Pages) > len(out[largest].Pages) {
+				largest = i
+			}
+		}
+		kept := out[:0]
+		keptLargest := -1
+		var fragments []webgraph.PageID
+		for i := range out {
+			if i != largest && len(out[i].Pages) < minChild {
+				fragments = append(fragments, out[i].Pages...)
+				continue
+			}
+			if i == largest {
+				keptLargest = len(kept)
+			}
+			kept = append(kept, out[i])
+		}
+		out = kept
+		out[keptLargest].Pages = append(out[keptLargest].Pages, fragments...)
+		if len(out) < 2 {
+			return nil // no real structure found
+		}
+		for i := range out {
+			out[i].clusterOnly = true
+			out[i].depth = e.depth
+			sort.Slice(out[i].Pages, func(a, b int) bool { return out[i].Pages[a] < out[i].Pages[b] })
+		}
+		return out
+	}
+	return nil
+}
+
+// applySplit replaces element ei with the given groups, preserving the
+// paper's refinement semantics (Pi+1 = Pi \ {Nij} ∪ {A1..Am}).
+func applySplit(p *Partition, ei int, groups []Element) {
+	p.Elements[ei] = groups[0]
+	for _, pg := range groups[0].Pages {
+		p.Assign[pg] = int32(ei)
+	}
+	for _, g := range groups[1:] {
+		ni := int32(len(p.Elements))
+		for _, pg := range g.Pages {
+			p.Assign[pg] = ni
+		}
+		p.Elements = append(p.Elements, g)
+	}
+}

@@ -1,0 +1,474 @@
+// Package query implements the paper's six complex queries (Table 3)
+// against any graph representation, reproducing §4.3's methodology:
+// page sets are resolved through the text, PageRank, and domain indexes
+// (un-timed, as the paper excludes index access), then the navigation
+// component runs against the representation under test and is measured
+// as CPU time plus modeled disk time.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"snode/internal/pagerank"
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+// ID identifies a Table 3 query.
+type ID int
+
+// The six queries of Table 3.
+const (
+	Q1 ID = iota + 1 // universities cited by Stanford mobile-networking pages
+	Q2               // comic-strip popularity at Stanford
+	Q3               // Kleinberg base set for "Internet censorship"
+	Q4               // popular quantum-cryptography pages at four universities
+	Q5               // computer-music pages ranked by intra-set citations
+	Q6               // common citations of Stanford and Berkeley interferometry pages
+)
+
+// All lists the six queries.
+func All() []ID { return []ID{Q1, Q2, Q3, Q4, Q5, Q6} }
+
+// Description returns the paper's one-line description.
+func (q ID) Description() string {
+	switch q {
+	case Q1:
+		return "universities referenced by Stanford 'Mobile networking' pages (Analysis 1)"
+	case Q2:
+		return "relative popularity of three comic strips at Stanford (Analysis 2)"
+	case Q3:
+		return "Kleinberg base set for top-100 'Internet censorship' pages"
+	case Q4:
+		return "10 most popular 'Quantum cryptography' pages at four universities"
+	case Q5:
+		return "'Computer music synthesis' pages ranked by intra-set citations"
+	case Q6:
+		return "pages cited by both Stanford and Berkeley 'Optical interferometry' pages"
+	}
+	return "unknown"
+}
+
+// Row is one line of query output.
+type Row struct {
+	Key   string
+	Value float64
+}
+
+// NavStats measures the navigation component of one query execution.
+type NavStats struct {
+	CPU          time.Duration // wall time spent in graph access + decode
+	IO           time.Duration // modeled disk time (iosim)
+	Seeks        int64
+	BytesRead    int64
+	GraphsLoaded int64
+}
+
+// Total is the navigation time the experiments report.
+func (n NavStats) Total() time.Duration { return n.CPU + n.IO }
+
+// Result is a query execution outcome.
+type Result struct {
+	Query  ID
+	Scheme string
+	Rows   []Row
+	Nav    NavStats
+}
+
+// Engine executes queries for one scheme over a repository.
+type Engine struct {
+	R      *repo.Repository
+	Scheme string
+}
+
+// New returns an engine bound to a scheme built in the repository.
+func New(r *repo.Repository, scheme string) (*Engine, error) {
+	if _, ok := r.Fwd[scheme]; !ok {
+		return nil, fmt.Errorf("query: scheme %q not built", scheme)
+	}
+	return &Engine{R: r, Scheme: scheme}, nil
+}
+
+// Run executes one query.
+func (e *Engine) Run(q ID) (*Result, error) {
+	switch q {
+	case Q3, Q4, Q5:
+		if e.rev() == nil {
+			return nil, fmt.Errorf("query: Q%d needs in-neighborhood navigation; build the repository with Transpose", q)
+		}
+	}
+	switch q {
+	case Q1:
+		return e.q1()
+	case Q2:
+		return e.q2()
+	case Q3:
+		return e.q3()
+	case Q4:
+		return e.q4()
+	case Q5:
+		return e.q5()
+	case Q6:
+		return e.q6()
+	}
+	return nil, fmt.Errorf("query: unknown query %d", q)
+}
+
+// RunAll executes the six queries in order.
+func (e *Engine) RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, q := range All() {
+		r, err := e.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (e *Engine) fwd() store.LinkStore { return e.R.Fwd[e.Scheme] }
+func (e *Engine) rev() store.LinkStore { return e.R.Rev[e.Scheme] }
+
+// nav times a navigation closure over the scheme's stores.
+func (e *Engine) nav(fn func() error) (NavStats, error) {
+	fwd := e.fwd()
+	rev := e.rev()
+	fwd.ResetStats()
+	if rev != nil {
+		rev.ResetStats()
+	}
+	start := time.Now()
+	err := fn()
+	cpu := time.Since(start)
+	st := fwd.Stats()
+	if rev != nil {
+		rs := rev.Stats()
+		st.IO.Seeks += rs.IO.Seeks
+		st.IO.BytesRead += rs.IO.BytesRead
+		st.IO.Reads += rs.IO.Reads
+		st.GraphsLoaded += rs.GraphsLoaded
+	}
+	return NavStats{
+		CPU:          cpu,
+		IO:           st.IO.ModeledTime(e.R.Model),
+		Seeks:        st.IO.Seeks,
+		BytesRead:    st.IO.BytesRead,
+		GraphsLoaded: st.GraphsLoaded,
+	}, err
+}
+
+// domainRange returns a domain's page range.
+func (e *Engine) domainRange(domain string) (store.DomainRange, bool) {
+	r, ok := e.R.Domains[domain]
+	return r, ok
+}
+
+// phraseInDomain resolves the pages of a domain containing a phrase.
+func (e *Engine) phraseInDomain(phrase, domain string) []webgraph.PageID {
+	dr, ok := e.domainRange(domain)
+	if !ok {
+		return nil
+	}
+	return e.R.Text.LookupInRange(phrase, dr.Lo, dr.Hi)
+}
+
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Key < rows[j].Key
+	})
+}
+
+// q1 — Analysis 1: weighted list of .edu domains referenced by Stanford
+// pages about mobile networking.
+func (e *Engine) q1() (*Result, error) {
+	s := e.phraseInDomain(synth.PhraseMobileNetworking, "stanford.edu")
+	eduSet := e.R.EduDomains("stanford.edu")
+	filter := &store.Filter{Domains: eduSet}
+	weights := map[string]float64{}
+	var buf []webgraph.PageID
+	nav, err := e.nav(func() error {
+		for _, p := range s {
+			var err error
+			buf, err = e.fwd().OutFiltered(p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			// A page contributes its weight once per domain it points to.
+			seen := map[string]bool{}
+			for _, t := range buf {
+				d := e.R.DomainOf(t)
+				if !seen[d] {
+					seen[d] = true
+					weights[d] += e.R.PageRank[p]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(weights))
+	for d, w := range weights {
+		rows = append(rows, Row{Key: d, Value: w})
+	}
+	sortRows(rows)
+	return &Result{Query: Q1, Scheme: e.Scheme, Rows: rows, Nav: nav}, nil
+}
+
+// q2 — Analysis 2: popularity C1+C2 per comic strip.
+func (e *Engine) q2() (*Result, error) {
+	comics := synth.Comics()
+	dr, ok := e.domainRange("stanford.edu")
+	if !ok {
+		return nil, fmt.Errorf("query: stanford.edu not in corpus")
+	}
+	// C1: word-occurrence counts (text index, untimed).
+	c1 := map[string]int{}
+	siteOf := map[string]string{}
+	sites := map[string]bool{}
+	for _, c := range comics {
+		pages := e.R.Text.PagesWithAtLeast(c.Words, 2)
+		n := 0
+		for _, p := range pages {
+			if p >= dr.Lo && p < dr.Hi {
+				n++
+			}
+		}
+		c1[c.Name] = n
+		siteOf[c.Site] = c.Name
+		sites[c.Site] = true
+	}
+	// C2: links from Stanford pages to each comic site (navigation).
+	c2 := map[string]int{}
+	filter := &store.Filter{Domains: sites}
+	var buf []webgraph.PageID
+	nav, err := e.nav(func() error {
+		for p := dr.Lo; p < dr.Hi; p++ {
+			var err error
+			buf, err = e.fwd().OutFiltered(p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				c2[siteOf[e.R.DomainOf(t)]]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(comics))
+	for _, c := range comics {
+		rows = append(rows, Row{Key: c.Name, Value: float64(c1[c.Name] + c2[c.Name])})
+	}
+	sortRows(rows)
+	return &Result{Query: Q2, Scheme: e.Scheme, Rows: rows, Nav: nav}, nil
+}
+
+// kleinbergInCap bounds in-neighbours per base-set page, as in HITS.
+const kleinbergInCap = 50
+
+// q3 — Kleinberg base set: S ∪ out(S) ∪ in(S).
+func (e *Engine) q3() (*Result, error) {
+	l := e.R.Text.Lookup(synth.PhraseInternetCensorship)
+	s := pagerank.TopK(e.R.PageRank, l, 100)
+	// Navigate in page-ID order (sort the fetch set before touching the
+	// representation — the classic RID-sort, which every scheme's
+	// on-disk clustering benefits from).
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	base := map[webgraph.PageID]bool{}
+	for _, p := range s {
+		base[p] = true
+	}
+	var buf []webgraph.PageID
+	nav, err := e.nav(func() error {
+		for _, p := range s {
+			var err error
+			buf, err = e.fwd().Out(p, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				base[t] = true
+			}
+			buf, err = e.rev().Out(p, buf[:0])
+			if err != nil {
+				return err
+			}
+			// Deterministic cap: smallest page IDs first.
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			for i, t := range buf {
+				if i >= kleinbergInCap {
+					break
+				}
+				base[t] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []Row{{Key: "base-set-size", Value: float64(len(base))}}
+	return &Result{Query: Q3, Scheme: e.Scheme, Rows: rows, Nav: nav}, nil
+}
+
+// q4 — per-university top-10 quantum-cryptography pages by external
+// in-links.
+func (e *Engine) q4() (*Result, error) {
+	var rows []Row
+	var navTotal NavStats
+	var buf []webgraph.PageID
+	for _, uni := range synth.Universities() {
+		s := e.phraseInDomain(synth.PhraseQuantumCryptography, uni)
+		pop := map[webgraph.PageID]int{}
+		nav, err := e.nav(func() error {
+			for _, p := range s {
+				var err error
+				buf, err = e.rev().Out(p, buf[:0])
+				if err != nil {
+					return err
+				}
+				n := 0
+				for _, src := range buf {
+					if e.R.DomainOf(src) != uni {
+						n++
+					}
+				}
+				pop[p] = n
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		navTotal = addNav(navTotal, nav)
+		uniRows := make([]Row, 0, len(pop))
+		for p, n := range pop {
+			uniRows = append(uniRows, Row{
+				Key:   uni + " " + e.R.Corpus.Pages[p].URL,
+				Value: float64(n),
+			})
+		}
+		sortRows(uniRows)
+		if len(uniRows) > 10 {
+			uniRows = uniRows[:10]
+		}
+		rows = append(rows, uniRows...)
+	}
+	return &Result{Query: Q4, Scheme: e.Scheme, Rows: rows, Nav: navTotal}, nil
+}
+
+// q5 — computer-music pages ranked by in-links from within the set.
+func (e *Engine) q5() (*Result, error) {
+	s := e.R.Text.Lookup(synth.PhraseComputerMusic)
+	inSet := map[webgraph.PageID]bool{}
+	for _, p := range s {
+		inSet[p] = true
+	}
+	filter := &store.Filter{Pages: inSet}
+	counts := map[webgraph.PageID]int{}
+	var buf []webgraph.PageID
+	nav, err := e.nav(func() error {
+		for _, p := range s {
+			var err error
+			buf, err = e.rev().OutFiltered(p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			counts[p] = len(buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for p, n := range counts {
+		if strings.HasSuffix(e.R.DomainOf(p), ".edu") {
+			rows = append(rows, Row{Key: e.R.Corpus.Pages[p].URL, Value: float64(n)})
+		}
+	}
+	sortRows(rows)
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return &Result{Query: Q5, Scheme: e.Scheme, Rows: rows, Nav: nav}, nil
+}
+
+// q6 — pages cited by both Stanford and Berkeley interferometry pages,
+// ranked by total citations from S1 ∪ S2.
+func (e *Engine) q6() (*Result, error) {
+	s1 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "stanford.edu")
+	s2 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "berkeley.edu")
+	type cnt struct{ a, b int }
+	counts := map[webgraph.PageID]*cnt{}
+	var buf []webgraph.PageID
+	collect := func(src []webgraph.PageID, first bool) error {
+		for _, p := range src {
+			var err error
+			buf, err = e.fwd().Out(p, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				d := e.R.DomainOf(t)
+				if d == "stanford.edu" || d == "berkeley.edu" {
+					continue
+				}
+				c := counts[t]
+				if c == nil {
+					c = &cnt{}
+					counts[t] = c
+				}
+				if first {
+					c.a++
+				} else {
+					c.b++
+				}
+			}
+		}
+		return nil
+	}
+	nav, err := e.nav(func() error {
+		if err := collect(s1, true); err != nil {
+			return err
+		}
+		return collect(s2, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for t, c := range counts {
+		if c.a >= 1 && c.b >= 1 {
+			rows = append(rows, Row{Key: e.R.Corpus.Pages[t].URL, Value: float64(c.a + c.b)})
+		}
+	}
+	sortRows(rows)
+	if len(rows) > 25 {
+		rows = rows[:25]
+	}
+	return &Result{Query: Q6, Scheme: e.Scheme, Rows: rows, Nav: nav}, nil
+}
+
+func addNav(a, b NavStats) NavStats {
+	return NavStats{
+		CPU:          a.CPU + b.CPU,
+		IO:           a.IO + b.IO,
+		Seeks:        a.Seeks + b.Seeks,
+		BytesRead:    a.BytesRead + b.BytesRead,
+		GraphsLoaded: a.GraphsLoaded + b.GraphsLoaded,
+	}
+}

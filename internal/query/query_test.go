@@ -1,0 +1,381 @@
+package query
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/synth"
+)
+
+var testRepo *repo.Repository
+
+func getRepo(t testing.TB) *repo.Repository {
+	t.Helper()
+	if testRepo != nil {
+		return testRepo
+	}
+	crawl, err := synth.Generate(synth.DefaultConfig(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "query-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repo.DefaultOptions(dir)
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatalf("repo.Build: %v", err)
+	}
+	testRepo = r
+	return r
+}
+
+func TestAllQueriesReturnResults(t *testing.T) {
+	r := getRepo(t)
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, res := range results {
+		if len(res.Rows) == 0 {
+			t.Errorf("query %d (%s) returned no rows — scenario wiring broken",
+				res.Query, res.Query.Description())
+		}
+		if res.Nav.Total() <= 0 {
+			t.Errorf("query %d: non-positive navigation time", res.Query)
+		}
+	}
+}
+
+func TestSchemesAgreeOnResults(t *testing.T) {
+	r := getRepo(t)
+	ref, err := New(r, repo.SchemeFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{repo.SchemeSNode, repo.SchemeLink3, repo.SchemeDB, repo.SchemeHuffman} {
+		e, err := New(r, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.RunAll()
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		for qi := range want {
+			if len(got[qi].Rows) != len(want[qi].Rows) {
+				t.Fatalf("%s query %d: %d rows, want %d",
+					scheme, want[qi].Query, len(got[qi].Rows), len(want[qi].Rows))
+			}
+			for ri := range want[qi].Rows {
+				if got[qi].Rows[ri] != want[qi].Rows[ri] {
+					t.Fatalf("%s query %d row %d: %+v != %+v",
+						scheme, want[qi].Query, ri, got[qi].Rows[ri], want[qi].Rows[ri])
+				}
+			}
+		}
+	}
+}
+
+func TestQ1RanksEduDomains(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Key == "stanford.edu" {
+			t.Fatal("Q1 must exclude stanford.edu")
+		}
+		if len(row.Key) < 5 || row.Key[len(row.Key)-4:] != ".edu" {
+			t.Fatalf("Q1 returned non-edu domain %q", row.Key)
+		}
+		if row.Value <= 0 {
+			t.Fatalf("non-positive weight for %s", row.Key)
+		}
+	}
+	// Descending weights.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Value > res.Rows[i-1].Value {
+			t.Fatal("Q1 rows not sorted by weight")
+		}
+	}
+}
+
+func TestQ2CoversAllComics(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("Q2 rows = %d", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.Key] = true
+	}
+	for _, c := range synth.Comics() {
+		if !names[c.Name] {
+			t.Fatalf("comic %s missing", c.Name)
+		}
+	}
+}
+
+func TestQ3BaseSetLargerThanRoot(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Key != "base-set-size" {
+		t.Fatalf("unexpected row %+v", res.Rows[0])
+	}
+	if res.Rows[0].Value < 100 {
+		t.Fatalf("base set (%v) smaller than root set", res.Rows[0].Value)
+	}
+}
+
+func TestQ4AtMostTenPerUniversity(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUni := map[string]int{}
+	for _, row := range res.Rows {
+		for _, u := range synth.Universities() {
+			if len(row.Key) > len(u) && row.Key[:len(u)] == u {
+				perUni[u]++
+			}
+		}
+	}
+	for u, n := range perUni {
+		if n > 10 {
+			t.Fatalf("%s has %d rows", u, n)
+		}
+	}
+	if len(perUni) < 2 {
+		t.Fatalf("only %d universities produced results", len(perUni))
+	}
+}
+
+func TestQ5OnlyEduPages(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) > 10 {
+		t.Fatalf("Q5 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestQ6RequiresBothCiters(t *testing.T) {
+	r := getRepo(t)
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Value < 2 {
+			t.Fatalf("Q6 row %q has %v citations, need >= 2 (one per university)",
+				row.Key, row.Value)
+		}
+	}
+}
+
+func TestSNodeNavigationBeatsFlatFiles(t *testing.T) {
+	// The Figure 11 headline at test scale: from a cold, small cache,
+	// total modeled navigation time across the six queries must be
+	// lower for S-Node than for the uncompressed-files scheme.
+	r := getRepo(t)
+	const budget = 256 << 10
+	r.Fwd[repo.SchemeSNode].(store.CacheResetter).ResetCache(budget)
+	r.Rev[repo.SchemeSNode].(store.CacheResetter).ResetCache(budget)
+	r.Fwd[repo.SchemeFiles].(store.CacheResetter).ResetCache(budget)
+	r.Rev[repo.SchemeFiles].(store.CacheResetter).ResetCache(budget)
+
+	sn, _ := New(r, repo.SchemeSNode)
+	ff, _ := New(r, repo.SchemeFiles)
+	snRes, err := sn.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffRes, err := ff.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snIO, ffIO int64
+	for i := range snRes {
+		snIO += int64(snRes[i].Nav.IO)
+		ffIO += int64(ffRes[i].Nav.IO)
+	}
+	if snIO >= ffIO {
+		t.Fatalf("snode modeled IO %d >= files %d", snIO, ffIO)
+	}
+	t.Logf("modeled nav IO: snode=%v files=%v",
+		time.Duration(snIO), time.Duration(ffIO))
+}
+
+func TestUnknownSchemeRejected(t *testing.T) {
+	r := getRepo(t)
+	if _, err := New(r, "bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	for _, q := range All() {
+		if q.Description() == "unknown" {
+			t.Fatalf("query %d lacks description", q)
+		}
+	}
+}
+
+func TestTransposeRequiredQueries(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repo.DefaultOptions(t.TempDir())
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.Transpose = false
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []ID{Q3, Q4, Q5} {
+		if _, err := e.Run(q); err == nil {
+			t.Errorf("Q%d without transpose did not error", q)
+		}
+	}
+	// Forward-only queries still work.
+	for _, q := range []ID{Q1, Q2, Q6} {
+		if _, err := e.Run(q); err != nil {
+			t.Errorf("Q%d without transpose failed: %v", q, err)
+		}
+	}
+}
+
+// Ground truth: recompute Q1 and Q2 by brute force directly from the
+// corpus (no LinkStore, no filters) and compare with the engine.
+func TestQ1AgainstBruteForce(t *testing.T) {
+	r := getRepo(t)
+	c := r.Corpus
+	hasPhrase := func(p int32, phrase string) bool {
+		for _, term := range c.Pages[p].Terms {
+			if term == phrase {
+				return true
+			}
+		}
+		return false
+	}
+	isEdu := func(d string) bool {
+		return len(d) > 4 && d[len(d)-4:] == ".edu"
+	}
+	want := map[string]float64{}
+	for p := int32(0); int(p) < c.Graph.NumPages(); p++ {
+		if c.Pages[p].Domain != "stanford.edu" || !hasPhrase(p, synth.PhraseMobileNetworking) {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, q := range c.Graph.Out(p) {
+			d := c.Pages[q].Domain
+			if d == "stanford.edu" || !isEdu(d) || seen[d] {
+				continue
+			}
+			seen[d] = true
+			want[d] += r.PageRank[p]
+		}
+	}
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("engine %d rows, brute force %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		if w, ok := want[row.Key]; !ok || absDiff(w, row.Value) > 1e-9 {
+			t.Fatalf("domain %s: engine %f, brute force %f", row.Key, row.Value, w)
+		}
+	}
+}
+
+func TestQ2AgainstBruteForce(t *testing.T) {
+	r := getRepo(t)
+	c := r.Corpus
+	want := map[string]float64{}
+	for _, comic := range synth.Comics() {
+		c1, c2 := 0, 0
+		for p := int32(0); int(p) < c.Graph.NumPages(); p++ {
+			if c.Pages[p].Domain != "stanford.edu" {
+				continue
+			}
+			n := 0
+			for _, w := range comic.Words {
+				for _, term := range c.Pages[p].Terms {
+					if term == w {
+						n++
+						break
+					}
+				}
+			}
+			if n >= 2 {
+				c1++
+			}
+			for _, q := range c.Graph.Out(p) {
+				if c.Pages[q].Domain == comic.Site {
+					c2++
+				}
+			}
+		}
+		want[comic.Name] = float64(c1 + c2)
+	}
+	e, _ := New(r, repo.SchemeSNode)
+	res, err := e.Run(Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if want[row.Key] != row.Value {
+			t.Fatalf("%s: engine %f, brute force %f", row.Key, row.Value, want[row.Key])
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,204 @@
+// Package randutil provides deterministic random-number utilities used
+// by the synthetic crawl generator and the partition refiner: a
+// splittable xoshiro256** generator, Zipf/power-law samplers, and
+// weighted choice. Determinism matters here: every experiment in the
+// paper reproduction must be re-runnable bit-for-bit from a seed.
+package randutil
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** pseudo-random generator. It is deliberately not
+// safe for concurrent use; callers split independent streams instead.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 seeds the state, as recommended by the xoshiro authors.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from the given seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return r
+}
+
+// Split derives an independent generator from r and a stream label.
+// Streams with distinct labels are statistically independent.
+func (r *RNG) Split(label uint64) *RNG {
+	x := r.Uint64() ^ (label * 0x9E3779B97F4A7C15)
+	return NewRNG(splitmix64(&x))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randutil: Intn n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples ranks 1..n with probability proportional to rank^(-s),
+// using a precomputed cumulative table (fine for the modest n used by
+// the generator). Sample returns values in [0, n).
+type Zipf struct {
+	cum []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randutil: Zipf n <= 0")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Sample returns a rank in [0, n) with Zipfian probability (rank 0 most
+// likely).
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	// Binary search for the first cumulative value >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BoundedPareto samples integer values in [lo, hi] from a discrete
+// power-law with exponent alpha (> 1): P(x) ∝ x^(-alpha). It is used
+// for out-degree distributions (the paper's repository averages
+// out-degree 14 with a heavy tail).
+type BoundedPareto struct {
+	lo, hi int
+	alpha  float64
+	rng    *RNG
+	k      float64 // precomputed lo^(1-alpha)
+	h      float64 // precomputed hi^(1-alpha)
+}
+
+// NewBoundedPareto builds a sampler over [lo, hi] with exponent alpha.
+func NewBoundedPareto(rng *RNG, lo, hi int, alpha float64) *BoundedPareto {
+	if lo < 1 || hi < lo || alpha <= 1 {
+		panic("randutil: invalid BoundedPareto parameters")
+	}
+	return &BoundedPareto{
+		lo: lo, hi: hi, alpha: alpha, rng: rng,
+		k: math.Pow(float64(lo), 1-alpha),
+		h: math.Pow(float64(hi)+1, 1-alpha),
+	}
+}
+
+// Sample returns an integer in [lo, hi].
+func (p *BoundedPareto) Sample() int {
+	u := p.rng.Float64()
+	x := math.Pow(p.k-u*(p.k-p.h), 1/(1-p.alpha))
+	v := int(x)
+	if v < p.lo {
+		v = p.lo
+	}
+	if v > p.hi {
+		v = p.hi
+	}
+	return v
+}
+
+// WeightedChoice picks an index in [0, len(weights)) with probability
+// proportional to weights[i]. All weights must be non-negative and at
+// least one positive.
+func WeightedChoice(rng *RNG, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("randutil: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("randutil: all weights zero")
+	}
+	u := rng.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

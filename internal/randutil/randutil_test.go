@@ -1,0 +1,170 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agree too often: %d/100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := NewRNG(1)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100 equal", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	// Rank 0 must dominate rank 50 heavily under s=1.2.
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// All mass within range (counts slice would have paniced otherwise).
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("lost samples: %d", total)
+	}
+}
+
+func TestBoundedParetoRangeAndMean(t *testing.T) {
+	r := NewRNG(9)
+	p := NewBoundedPareto(r, 1, 300, 2.1)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := p.Sample()
+		if v < 1 || v > 300 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	// alpha=2.1 over [1,300] has mean a bit under 2; just check heavy
+	// skew towards the low end with a tail.
+	if mean < 1.0 || mean > 10 {
+		t.Fatalf("unexpected mean %f", mean)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRNG(13)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[WeightedChoice(r, w)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio = %f, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("all-zero weights did not panic")
+		}
+	}()
+	WeightedChoice(NewRNG(1), []float64{0, 0})
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("elements changed: sum=%d", sum)
+	}
+}

@@ -1,0 +1,226 @@
+package refenc
+
+import (
+	"errors"
+	"math"
+)
+
+// WEdge is a weighted directed edge in an affinity graph.
+type WEdge struct {
+	From, To int
+	W        float64
+}
+
+// ErrUnreachable is returned when some vertex has no incoming edge on
+// any path from the root.
+var ErrUnreachable = errors.New("refenc: vertex unreachable from root")
+
+// MinArborescence computes a minimum-weight spanning arborescence rooted
+// at root over a directed graph with n vertices, using the
+// Chu-Liu/Edmonds algorithm. It returns, for each vertex other than the
+// root, the index into edges of its chosen incoming edge (-1 for the
+// root), plus the total weight.
+//
+// This is the optimal reference-assignment procedure of Adler &
+// Mitzenmacher ("Towards compressing Web graphs"): vertices are pages,
+// the root's out-edges carry the cost of encoding a page directly, and
+// page-to-page edges carry the cost of reference-encoding the target
+// using the source. The algorithm is O(V·E); the paper applies it only
+// to small intranode/superedge graphs, as do we.
+func MinArborescence(n, root int, edges []WEdge) (parentEdge []int, total float64, err error) {
+	if n <= 0 || root < 0 || root >= n {
+		return nil, 0, errors.New("refenc: invalid arborescence arguments")
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, 0, errors.New("refenc: edge endpoint out of range")
+		}
+	}
+	parentEdge, total, err = edmonds(n, root, edges, identityOrig(len(edges)))
+	return parentEdge, total, err
+}
+
+func identityOrig(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// edmonds runs one level of the contraction recursion. orig maps each
+// working edge to its index in the caller's original edge list so that
+// results always refer to original edges.
+func edmonds(n, root int, edges []WEdge, orig []int) ([]int, float64, error) {
+	const inf = math.MaxFloat64
+
+	// Choose the cheapest incoming edge for every non-root vertex.
+	inW := make([]float64, n)
+	inEdge := make([]int, n) // index into edges
+	for v := 0; v < n; v++ {
+		inW[v] = inf
+		inEdge[v] = -1
+	}
+	for i, e := range edges {
+		if e.To == root || e.From == e.To {
+			continue
+		}
+		if e.W < inW[e.To] {
+			inW[e.To] = e.W
+			inEdge[e.To] = i
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && inEdge[v] == -1 {
+			return nil, 0, ErrUnreachable
+		}
+	}
+
+	// Detect cycles among chosen in-edges.
+	const (
+		unvisited = 0
+		inPath    = 1
+		done      = 2
+	)
+	state := make([]int, n)
+	cycleID := make([]int, n)
+	for i := range cycleID {
+		cycleID[i] = -1
+	}
+	nCycles := 0
+	state[root] = done
+	for v := 0; v < n; v++ {
+		if state[v] != unvisited {
+			continue
+		}
+		// Walk parent pointers until hitting a visited vertex.
+		u := v
+		var path []int
+		for state[u] == unvisited {
+			state[u] = inPath
+			path = append(path, u)
+			u = edges[inEdge[u]].From
+		}
+		if state[u] == inPath {
+			// Found a new cycle: mark it from u around.
+			w := u
+			for {
+				cycleID[w] = nCycles
+				w = edges[inEdge[w]].From
+				if w == u {
+					break
+				}
+			}
+			nCycles++
+		}
+		for _, p := range path {
+			state[p] = done
+		}
+	}
+
+	if nCycles == 0 {
+		// Base case: the chosen in-edges form an arborescence.
+		result := make([]int, n)
+		var total float64
+		for v := 0; v < n; v++ {
+			if v == root {
+				result[v] = -1
+				continue
+			}
+			result[v] = orig[inEdge[v]]
+			total += edges[inEdge[v]].W
+		}
+		return result, total, nil
+	}
+
+	// Contract each cycle into a single vertex.
+	newID := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if cycleID[v] == -1 {
+			newID[v] = next
+			next++
+		}
+	}
+	cycleNode := make([]int, nCycles)
+	for c := 0; c < nCycles; c++ {
+		cycleNode[c] = next
+		next++
+	}
+	for v := 0; v < n; v++ {
+		if cycleID[v] != -1 {
+			newID[v] = cycleNode[cycleID[v]]
+		}
+	}
+
+	var newEdges []WEdge
+	var newOrig []int
+	// For edges entering a cycle, remember which working edge they came
+	// from so expansion can find the cycle vertex actually entered.
+	entering := make([]int, 0)
+	for i, e := range edges {
+		if e.To == root {
+			continue
+		}
+		u, v := newID[e.From], newID[e.To]
+		if u == v {
+			continue
+		}
+		w := e.W
+		if cycleID[e.To] != -1 {
+			w -= inW[e.To] // standard reweighting
+		}
+		newEdges = append(newEdges, WEdge{From: u, To: v, W: w})
+		newOrig = append(newOrig, orig[i])
+		entering = append(entering, i)
+	}
+
+	sub, subTotal, err := edmonds(next, newID[root], newEdges, identityOrig(len(newEdges)))
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Expand: translate the recursion's chosen edges back.
+	result := make([]int, n)
+	for i := range result {
+		result[i] = -1
+	}
+	chosenInto := make([]int, nCycles) // working-edge index entering each cycle
+	for i := range chosenInto {
+		chosenInto[i] = -1
+	}
+	var total float64
+	for v2 := 0; v2 < next; v2++ {
+		ei := sub[v2]
+		if ei == -1 {
+			continue
+		}
+		workIdx := entering[ei]
+		we := edges[workIdx]
+		if cycleID[we.To] != -1 {
+			chosenInto[cycleID[we.To]] = workIdx
+		} else {
+			result[we.To] = orig[workIdx]
+			total += we.W
+		}
+	}
+	_ = subTotal
+	// Inside each cycle, keep all cycle edges except the one into the
+	// vertex where the external edge enters.
+	for c := 0; c < nCycles; c++ {
+		enterIdx := chosenInto[c]
+		if enterIdx == -1 {
+			return nil, 0, errors.New("refenc: internal error, cycle without entry")
+		}
+		enterTo := edges[enterIdx].To
+		result[enterTo] = orig[enterIdx]
+		total += edges[enterIdx].W
+		w := edges[inEdge[enterTo]].From
+		for w != enterTo {
+			result[w] = orig[inEdge[w]]
+			total += edges[inEdge[w]].W
+			w = edges[inEdge[w]].From
+		}
+	}
+	return result, total, nil
+}

@@ -1,0 +1,193 @@
+package refenc
+
+import (
+	"math"
+	"testing"
+
+	"snode/internal/randutil"
+)
+
+// bruteForceArborescence enumerates every parent assignment over the
+// non-root vertices and returns the minimum total weight of a valid
+// arborescence (or +Inf if none exists). Only usable for tiny graphs.
+func bruteForceArborescence(n, root int, edges []WEdge) float64 {
+	// Best incoming edges per (from,to) pair.
+	best := make([][]float64, n)
+	for i := range best {
+		best[i] = make([]float64, n)
+		for j := range best[i] {
+			best[i][j] = math.Inf(1)
+		}
+	}
+	for _, e := range edges {
+		if e.From != e.To && e.W < best[e.From][e.To] {
+			best[e.From][e.To] = e.W
+		}
+	}
+	verts := []int{}
+	for v := 0; v < n; v++ {
+		if v != root {
+			verts = append(verts, v)
+		}
+	}
+	bestTotal := math.Inf(1)
+	parent := make([]int, n)
+	var rec func(i int, total float64)
+	rec = func(i int, total float64) {
+		if total >= bestTotal {
+			return
+		}
+		if i == len(verts) {
+			// Check acyclicity / reachability from root.
+			for _, v := range verts {
+				u := v
+				steps := 0
+				for u != root {
+					u = parent[u]
+					steps++
+					if steps > n {
+						return // cycle
+					}
+				}
+			}
+			bestTotal = total
+			return
+		}
+		v := verts[i]
+		for p := 0; p < n; p++ {
+			if p == v || math.IsInf(best[p][v], 1) {
+				continue
+			}
+			parent[v] = p
+			rec(i+1, total+best[p][v])
+		}
+	}
+	rec(0, 0)
+	return bestTotal
+}
+
+func arborescenceTotal(t *testing.T, n, root int, edges []WEdge) float64 {
+	t.Helper()
+	parentEdge, total, err := MinArborescence(n, root, edges)
+	if err != nil {
+		t.Fatalf("MinArborescence: %v", err)
+	}
+	// Validate the result IS an arborescence and recompute the total.
+	var check float64
+	for v := 0; v < n; v++ {
+		if v == root {
+			if parentEdge[v] != -1 {
+				t.Fatalf("root has a parent edge")
+			}
+			continue
+		}
+		ei := parentEdge[v]
+		if ei < 0 || ei >= len(edges) {
+			t.Fatalf("vertex %d: bad edge index %d", v, ei)
+		}
+		if edges[ei].To != v {
+			t.Fatalf("vertex %d: chosen edge enters %d", v, edges[ei].To)
+		}
+		check += edges[ei].W
+		// Walk to root.
+		u := v
+		for steps := 0; u != root; steps++ {
+			if steps > n {
+				t.Fatalf("vertex %d: cycle in result", v)
+			}
+			u = edges[parentEdge[u]].From
+		}
+	}
+	if math.Abs(check-total) > 1e-9 {
+		t.Fatalf("reported total %f != recomputed %f", total, check)
+	}
+	return total
+}
+
+func TestArborescenceSimpleChain(t *testing.T) {
+	edges := []WEdge{
+		{0, 1, 1}, {1, 2, 1}, {0, 2, 5},
+	}
+	total := arborescenceTotal(t, 3, 0, edges)
+	if total != 2 {
+		t.Fatalf("total = %f, want 2", total)
+	}
+}
+
+func TestArborescencePrefersCheapCycleBreak(t *testing.T) {
+	// Classic case: a 2-cycle between 1 and 2 that must be broken.
+	edges := []WEdge{
+		{0, 1, 10}, {0, 2, 10},
+		{1, 2, 1}, {2, 1, 1},
+	}
+	total := arborescenceTotal(t, 3, 0, edges)
+	if total != 11 {
+		t.Fatalf("total = %f, want 11", total)
+	}
+}
+
+func TestArborescenceUnreachable(t *testing.T) {
+	edges := []WEdge{{0, 1, 1}} // vertex 2 has no incoming edge
+	if _, _, err := MinArborescence(3, 0, edges); err != ErrUnreachable {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestArborescenceInvalidArgs(t *testing.T) {
+	if _, _, err := MinArborescence(0, 0, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := MinArborescence(2, 5, nil); err == nil {
+		t.Fatal("root out of range accepted")
+	}
+	if _, _, err := MinArborescence(2, 0, []WEdge{{0, 7, 1}}); err == nil {
+		t.Fatal("edge out of range accepted")
+	}
+}
+
+func TestArborescenceSingleVertex(t *testing.T) {
+	parentEdge, total, err := MinArborescence(1, 0, nil)
+	if err != nil || total != 0 || parentEdge[0] != -1 {
+		t.Fatalf("single vertex: %v %f %v", parentEdge, total, err)
+	}
+}
+
+func TestArborescenceNestedCycles(t *testing.T) {
+	// Cycle 1-2 nested inside a larger structure with cycle 3-4.
+	edges := []WEdge{
+		{0, 1, 8}, {1, 2, 2}, {2, 1, 2},
+		{2, 3, 3}, {3, 4, 1}, {4, 3, 1}, {0, 4, 9},
+	}
+	got := arborescenceTotal(t, 5, 0, edges)
+	want := bruteForceArborescence(5, 0, edges)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %f, brute force %f", got, want)
+	}
+}
+
+func TestArborescenceMatchesBruteForceRandom(t *testing.T) {
+	rng := randutil.NewRNG(77)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5) // 2..6 vertices
+		root := 0
+		var edges []WEdge
+		// Ensure reachability: root has an edge to everyone.
+		for v := 1; v < n; v++ {
+			edges = append(edges, WEdge{0, v, float64(1 + rng.Intn(20))})
+		}
+		extra := rng.Intn(12)
+		for e := 0; e < extra; e++ {
+			f, to := rng.Intn(n), rng.Intn(n)
+			if f == to || to == root {
+				continue
+			}
+			edges = append(edges, WEdge{f, to, float64(1 + rng.Intn(20))})
+		}
+		got := arborescenceTotal(t, n, root, edges)
+		want := bruteForceArborescence(n, root, edges)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d, edges=%v): got %f, brute force %f",
+				trial, n, edges, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package repo
+
+import (
+	"testing"
+
+	"snode/internal/synth"
+)
+
+func TestBuildAllSchemes(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(t.TempDir())
+	opt.Layout = crawl.Order
+	r, err := Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, s := range AllSchemes() {
+		if _, ok := r.Fwd[s]; !ok {
+			t.Errorf("forward %s missing", s)
+		}
+		if _, ok := r.Rev[s]; !ok {
+			t.Errorf("reverse %s missing", s)
+		}
+	}
+	if r.SNodeStats == nil {
+		t.Error("S-Node build stats missing")
+	}
+	if r.Text.NumTerms() == 0 {
+		t.Error("text index empty")
+	}
+	if len(r.PageRank) != crawl.Corpus.Graph.NumPages() {
+		t.Error("pagerank length mismatch")
+	}
+	// Normalized PageRank has max 1.
+	var max float64
+	for _, v := range r.PageRank {
+		if v > max {
+			max = v
+		}
+	}
+	if max != 1.0 {
+		t.Errorf("PageRank max = %f, want 1", max)
+	}
+}
+
+func TestBuildSubset(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(t.TempDir())
+	opt.Schemes = []string{SchemeSNode}
+	opt.Transpose = false
+	r, err := Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Fwd) != 1 || len(r.Rev) != 0 {
+		t.Fatalf("fwd=%d rev=%d", len(r.Fwd), len(r.Rev))
+	}
+}
+
+func TestBuildRejectsBadOptions(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(crawl.Corpus, Options{}); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	opt := DefaultOptions(t.TempDir())
+	opt.Schemes = []string{"bogus"}
+	if _, err := Build(crawl.Corpus, opt); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestEduDomains(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(t.TempDir())
+	opt.Schemes = []string{SchemeHuffman}
+	opt.Transpose = false
+	r, err := Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	edu := r.EduDomains("stanford.edu")
+	if edu["stanford.edu"] {
+		t.Fatal("excluded domain present")
+	}
+	if !edu["berkeley.edu"] {
+		t.Fatal("berkeley.edu missing")
+	}
+	for d := range edu {
+		if len(d) < 5 || d[len(d)-4:] != ".edu" {
+			t.Fatalf("non-edu domain %q", d)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package snode
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"snode/internal/bitio"
+	"snode/internal/coding"
+	"snode/internal/partition"
+	"snode/internal/webgraph"
+)
+
+// Build computes the partition, constructs the S-Node representation of
+// the corpus graph, and writes it (index files plus meta.bin) into dir,
+// which must exist and be empty or reusable.
+func Build(c *webgraph.Corpus, cfg Config, dir string) (*BuildStats, error) {
+	start := time.Now()
+	p, err := partition.Refine(c, cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFromPartition(c, p, cfg, dir, start)
+}
+
+// BuildFromPartition builds the representation from an already-computed
+// partition (used by ablation benches that vary the partition).
+func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, dir string, start time.Time) (*BuildStats, error) {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	if cfg.MaxFileSize <= 0 {
+		return nil, fmt.Errorf("snode: MaxFileSize must be positive")
+	}
+	n := c.Graph.NumPages()
+
+	// 1. Order supernodes by (domain, first page). Page IDs are sorted
+	// by (domain, URL), so an element's smallest page ID yields exactly
+	// that ordering and keeps each domain's supernodes contiguous.
+	order := make([]int, p.NumElements())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return p.Elements[order[a]].Pages[0] < p.Elements[order[b]].Pages[0]
+	})
+
+	m := &meta{
+		NumPages: int32(n),
+		NumEdges: c.Graph.NumEdges(),
+		Perm:     make([]int32, n),
+		Inv:      make([]int32, n),
+		SnBase:   make([]int32, len(order)+1),
+	}
+
+	// 2. Renumber pages: supernodes in order, pages within an element in
+	// URL order (== ascending external ID).
+	next := int32(0)
+	snOfInternal := make([]int32, n) // internal page → supernode
+	for s, ei := range order {
+		m.SnBase[s] = next
+		for _, ext := range p.Elements[ei].Pages {
+			m.Perm[ext] = next
+			m.Inv[next] = ext
+			snOfInternal[next] = int32(s)
+			next++
+		}
+	}
+	m.SnBase[len(order)] = next
+
+	// 3. Domain index: domains are contiguous over supernodes.
+	for s := range order {
+		d := c.Pages[m.Inv[m.SnBase[s]]].Domain
+		if len(m.Domains) == 0 || m.Domains[len(m.Domains)-1] != d {
+			m.Domains = append(m.Domains, d)
+			m.DomFirstSN = append(m.DomFirstSN, int32(s))
+		}
+	}
+	m.DomFirstSN = append(m.DomFirstSN, int32(len(order)))
+
+	// 4. Encode lower-level graphs. Encoding is per-supernode
+	// independent, so it fans out across CPUs; assembly then appends
+	// blobs strictly in supernode order, preserving the §3.3 linear
+	// disk layout (intranode_i followed by its superedges, ascending j)
+	// bit-for-bit identically to a sequential build.
+	out := newFileWriter(dir, cfg.MaxFileSize)
+	nSN := len(order)
+	superDeg := make([]int, nSN) // out-degree in the supernode graph
+	inDeg := make([]int64, nSN)  // superedge in-degree, for Huffman codes
+
+	encoded := make([]*encodedSupernode, nSN)
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers > nSN {
+		nWorkers = nSN
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	jobs := make(chan int)
+	errCh := make(chan error, nWorkers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < nWorkers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := bitio.NewWriter(1 << 16)
+			for s := range jobs {
+				es, err := encodeSupernode(c, m, cfg, snOfInternal, int32(s), w)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				encoded[s] = es
+			}
+		}()
+	}
+	for s := 0; s < nSN; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	// Sequential assembly in supernode order.
+	for s := 0; s < nSN; s++ {
+		es := encoded[s]
+		gid, err := out.addBlob(es.intraBlob, dirEntry{
+			Kind: kindIntra, I: int32(s), J: -1, NumLists: m.SnBase[s+1] - m.SnBase[s],
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.IntraGID = append(m.IntraGID, gid)
+		m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
+		for _, sb := range es.supers {
+			e := dirEntry{Kind: sb.kind, I: int32(s), J: sb.j, NumLists: sb.numLists}
+			gid, err := out.addBlob(sb.blob, e)
+			if err != nil {
+				return nil, err
+			}
+			m.SuperAdj = append(m.SuperAdj, sb.j)
+			m.SuperGID = append(m.SuperGID, gid)
+			superDeg[s]++
+			inDeg[sb.j]++
+			m.Stats.Superedges++
+			if sb.kind == kindSuperNeg {
+				m.Stats.NegativeSuperedges++
+			} else {
+				m.Stats.PositiveSuperedges++
+			}
+		}
+		encoded[s] = nil // release
+	}
+	m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
+	m.Directory = out.entries
+	m.FileSizes = out.sizes()
+	if err := out.close(); err != nil {
+		return nil, err
+	}
+
+	// 5. Supernode graph size under the §3.3 encoding: Huffman codes by
+	// in-degree for the targets, gamma-coded degrees, plus a 4-byte
+	// pointer per vertex and per edge (Figure 10 accounting). The
+	// decoded form lives in meta; this computes the size the paper
+	// reports.
+	for i := range inDeg {
+		inDeg[i]++ // smoothing so zero-in-degree supernodes get codes
+	}
+	huff, err := coding.NewHuffman(inDeg)
+	if err != nil {
+		return nil, err
+	}
+	var superBits int64
+	for s := 0; s < nSN; s++ {
+		superBits += int64(coding.Gamma0Len(uint64(superDeg[s])))
+	}
+	for _, j := range m.SuperAdj {
+		superBits += int64(huff.CodeLen(j))
+	}
+	m.Stats.Supernodes = nSN
+	m.Stats.SupernodeGraphBytes = (superBits+7)/8 + 4*int64(nSN) + 4*int64(len(m.SuperAdj))
+	for _, sz := range m.FileSizes {
+		m.Stats.IndexFileBytes += sz
+	}
+	m.Stats.PageIDIndexBytes = 4 * int64(len(m.SnBase))
+	for _, d := range m.Domains {
+		m.Stats.DomainIndexBytes += int64(len(d)) + 4
+	}
+	m.Stats.URLSplits = p.URLSplits
+	m.Stats.ClusteredSplits = p.ClusteredSplits
+	m.Stats.BuildTime = time.Since(start)
+
+	if err := writeMeta(filepath.Join(dir, "meta.bin"), m); err != nil {
+		return nil, err
+	}
+	stats := m.Stats
+	return &stats, nil
+}
+
+// encodedSupernode holds one supernode's encoded graphs between the
+// parallel encode stage and the sequential assembly stage.
+type encodedSupernode struct {
+	intraBlob []byte
+	supers    []encodedSuper
+}
+
+type encodedSuper struct {
+	j        int32
+	kind     uint8
+	numLists int32
+	blob     []byte
+}
+
+// encodeSupernode buckets supernode s's links and encodes its intranode
+// graph plus all its superedge graphs. It touches only immutable build
+// state (graph, permutation, SnBase) and its own writer, so it is safe
+// to run concurrently per supernode.
+func encodeSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int32, s int32, w *bitio.Writer) (*encodedSupernode, error) {
+	base := m.SnBase[s]
+	size := m.SnBase[s+1] - base
+
+	// Bucket this supernode's links: intranode + per-target-supernode.
+	intra := make([][]int32, size)
+	buckets := map[int32][][]int32{} // j → per-source lists (sparse)
+	bucketSrcs := map[int32][]int32{}
+	var jOrder []int32
+	for local := int32(0); local < size; local++ {
+		ext := m.Inv[base+local]
+		for _, tExt := range c.Graph.Out(ext) {
+			tInt := m.Perm[tExt]
+			j := snOfInternal[tInt]
+			tLocal := tInt - m.SnBase[j]
+			if j == s {
+				intra[local] = append(intra[local], tLocal)
+				continue
+			}
+			if _, ok := buckets[j]; !ok {
+				jOrder = append(jOrder, j)
+			}
+			ls := bucketSrcs[j]
+			if len(ls) == 0 || ls[len(ls)-1] != local {
+				bucketSrcs[j] = append(ls, local)
+				buckets[j] = append(buckets[j], nil)
+			}
+			bl := buckets[j]
+			bl[len(bl)-1] = append(bl[len(bl)-1], tLocal)
+		}
+	}
+	// Adjacency lists arrive in ascending external-target order; local
+	// IDs within one bucket are therefore already sorted.
+
+	es := &encodedSupernode{}
+	w.Reset()
+	if err := encodeIntra(w, intra, cfg.Refenc); err != nil {
+		return nil, err
+	}
+	es.intraBlob = append([]byte(nil), w.Bytes()...)
+
+	sort.Slice(jOrder, func(a, b int) bool { return jOrder[a] < jOrder[b] })
+	for _, j := range jOrder {
+		srcs := bucketSrcs[j]
+		lists := buckets[j]
+		var posEdges int64
+		for _, l := range lists {
+			posEdges += int64(len(l))
+		}
+		njSize := int64(m.SnBase[j+1] - m.SnBase[j])
+		negEdges := int64(size)*njSize - posEdges
+
+		w.Reset()
+		sb := encodedSuper{j: j}
+		if !cfg.DisableNegative && negEdges < posEdges {
+			// Negative graph: complement lists for every page of Ni.
+			comps := make([][]int32, size)
+			si := 0
+			for local := int32(0); local < size; local++ {
+				var pos []int32
+				if si < len(srcs) && srcs[si] == local {
+					pos = lists[si]
+					si++
+				}
+				comps[local] = complement(pos, int32(njSize))
+			}
+			if err := encodeSuperNeg(w, comps, int32(njSize), cfg.Refenc); err != nil {
+				return nil, err
+			}
+			sb.kind = kindSuperNeg
+			sb.numLists = size
+		} else {
+			if err := encodeSuperPos(w, srcs, lists, size, int32(njSize), cfg.Refenc); err != nil {
+				return nil, err
+			}
+			sb.kind = kindSuperPos
+			sb.numLists = int32(len(srcs))
+		}
+		sb.blob = append([]byte(nil), w.Bytes()...)
+		es.supers = append(es.supers, sb)
+	}
+	return es, nil
+}
+
+// fileWriter appends byte-aligned encoded graphs to a sequence of index
+// files, each at most maxSize bytes, and records directory entries.
+type fileWriter struct {
+	dir     string
+	maxSize int64
+	entries []dirEntry
+
+	cur     *os.File
+	bw      *bufio.Writer
+	curIdx  int32
+	curSize int64
+	allSize []int64
+	err     error
+}
+
+func newFileWriter(dir string, maxSize int64) *fileWriter {
+	return &fileWriter{dir: dir, maxSize: maxSize, curIdx: -1}
+}
+
+func indexFileName(dir string, idx int32) string {
+	return filepath.Join(dir, fmt.Sprintf("graphs.%03d", idx))
+}
+
+func (fw *fileWriter) roll() error {
+	if fw.cur != nil {
+		if err := fw.bw.Flush(); err != nil {
+			return err
+		}
+		if err := fw.cur.Close(); err != nil {
+			return err
+		}
+		fw.allSize = append(fw.allSize, fw.curSize)
+	}
+	fw.curIdx++
+	f, err := os.Create(indexFileName(fw.dir, fw.curIdx))
+	if err != nil {
+		return err
+	}
+	fw.cur = f
+	fw.bw = bufio.NewWriterSize(f, 1<<20)
+	fw.curSize = 0
+	return nil
+}
+
+// addBlob writes an encoded graph as the next entry and returns its
+// GraphID. A graph always lives entirely within one file (§3.3); files
+// roll when the current one would exceed maxSize.
+func (fw *fileWriter) addBlob(buf []byte, e dirEntry) (GraphID, error) {
+	if fw.cur == nil || (fw.curSize > 0 && fw.curSize+int64(len(buf)) > fw.maxSize) {
+		if err := fw.roll(); err != nil {
+			return 0, err
+		}
+	}
+	e.File = fw.curIdx
+	e.Offset = fw.curSize
+	e.NumBytes = int32(len(buf))
+	if _, err := fw.bw.Write(buf); err != nil {
+		return 0, err
+	}
+	fw.curSize += int64(len(buf))
+	fw.entries = append(fw.entries, e)
+	return GraphID(len(fw.entries) - 1), nil
+}
+
+func (fw *fileWriter) sizes() []int64 {
+	out := append([]int64(nil), fw.allSize...)
+	if fw.cur != nil {
+		out = append(out, fw.curSize)
+	}
+	return out
+}
+
+func (fw *fileWriter) close() error {
+	if fw.cur == nil {
+		return nil
+	}
+	if err := fw.bw.Flush(); err != nil {
+		return err
+	}
+	return fw.cur.Close()
+}

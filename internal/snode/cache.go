@@ -1,0 +1,80 @@
+package snode
+
+import "container/list"
+
+// decodedGraph is any in-memory lower-level graph.
+type decodedGraph interface {
+	memSize() int64
+	// edgeCount reports stored entries (positive links, or complement
+	// entries for negative graphs) — the decode-throughput denominator.
+	edgeCount() int64
+}
+
+// graphCache is the buffer manager of §4.3: decoded intranode and
+// superedge graphs are cached under a byte budget with LRU replacement.
+// The experiments vary the budget (Figure 12) and count loads per query
+// (the paper's instrumentation of Query 1).
+type graphCache struct {
+	budget  int64
+	used    int64
+	lru     *list.List // front = most recent; values are *cacheEntry
+	byID    map[GraphID]*list.Element
+	stats   CacheStats
+	decoded int64 // edges decoded since last reset
+}
+
+type cacheEntry struct {
+	id   GraphID
+	g    decodedGraph
+	size int64
+}
+
+func newGraphCache(budget int64) *graphCache {
+	return &graphCache{budget: budget, lru: list.New(), byID: map[GraphID]*list.Element{}}
+}
+
+// get returns the cached graph and marks it recently used.
+func (c *graphCache) get(id GraphID) (decodedGraph, bool) {
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).g, true
+}
+
+// put inserts a freshly decoded graph, evicting LRU entries to stay
+// within budget. Graphs larger than the budget are admitted alone (the
+// query could not run otherwise) and evicted on the next insert.
+func (c *graphCache) put(id GraphID, g decodedGraph, kind uint8) {
+	size := g.memSize()
+	c.stats.Loads++
+	c.decoded += g.edgeCount()
+	if kind == kindIntra {
+		c.stats.IntraLoads++
+	} else {
+		c.stats.SuperLoads++
+	}
+	for c.used+size > c.budget && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byID, e.id)
+		c.used -= e.size
+		c.stats.Evictions++
+	}
+	el := c.lru.PushFront(&cacheEntry{id: id, g: g, size: size})
+	c.byID[id] = el
+	c.used += size
+}
+
+// reset empties the cache (used between buffer-size sweep points).
+func (c *graphCache) reset(budget int64) {
+	c.budget = budget
+	c.used = 0
+	c.lru.Init()
+	c.byID = map[GraphID]*list.Element{}
+	c.stats = CacheStats{}
+	c.decoded = 0
+}

@@ -1,0 +1,224 @@
+package snode
+
+import (
+	"fmt"
+
+	"snode/internal/bitio"
+	"snode/internal/coding"
+	"snode/internal/refenc"
+)
+
+// Lower-level graph wire formats. Every graph starts byte-aligned in an
+// index file; NumLists and NumBytes live in the directory entry.
+//
+//	intranode:  refenc lists, one per page of Ni (local target IDs)
+//	superPos:   gap-coded source local IDs, then refenc lists, one per
+//	            source (local IDs within Nj)
+//	superNeg:   refenc lists, one per page of Ni (complement lists over
+//	            Nj's local ID space)
+
+// encodeIntra encodes an intranode graph: lists[k] is the local
+// adjacency of Ni's k-th page restricted to Ni.
+func encodeIntra(w *bitio.Writer, lists [][]int32, opt refenc.Options) error {
+	opt.TargetBound = uint64(len(lists)) // local IDs within Ni
+	_, err := refenc.EncodeLists(w, lists, opt)
+	return err
+}
+
+// decodedIntra is the in-memory form of an intranode graph.
+type decodedIntra struct {
+	lists [][]int32
+}
+
+func (g *decodedIntra) edgeCount() int64 {
+	var n int64
+	for _, l := range g.lists {
+		n += int64(len(l))
+	}
+	return n
+}
+
+func (g *decodedIntra) memSize() int64 {
+	n := int64(len(g.lists)) * 24
+	for _, l := range g.lists {
+		n += int64(len(l)) * 4
+	}
+	return n
+}
+
+func decodeIntra(buf []byte, numLists int) (*decodedIntra, error) {
+	r := bitio.NewByteReader(buf)
+	lists, err := refenc.DecodeListsBounded(r, numLists, uint64(numLists))
+	if err != nil {
+		return nil, fmt.Errorf("snode: intranode decode: %w", err)
+	}
+	if err := checkLocalIDs(lists, int32(numLists)); err != nil {
+		return nil, fmt.Errorf("snode: intranode decode: %w", err)
+	}
+	return &decodedIntra{lists: lists}, nil
+}
+
+// checkLocalIDs rejects decoded lists whose entries escape the local ID
+// space — the symptom of a corrupt graph payload that still parsed.
+// (The bounded codec constrains only each run's first value; gap sums
+// can overrun.)
+func checkLocalIDs(lists [][]int32, bound int32) error {
+	for _, l := range lists {
+		for _, v := range l {
+			if v < 0 || v >= bound {
+				return fmt.Errorf("local id %d outside [0,%d)", v, bound)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeSuperPos encodes a positive superedge graph. srcs are the local
+// (within Ni) IDs of pages with at least one link into Nj, strictly
+// increasing; lists are their targets as local Nj IDs.
+func encodeSuperPos(w *bitio.Writer, srcs []int32, lists [][]int32, niSize, njSize int32, opt refenc.Options) error {
+	if len(srcs) != len(lists) {
+		return fmt.Errorf("snode: superPos %d sources but %d lists", len(srcs), len(lists))
+	}
+	coding.WriteBoundedGapList(w, srcs, uint64(niSize))
+	opt.TargetBound = uint64(njSize)
+	_, err := refenc.EncodeLists(w, lists, opt)
+	return err
+}
+
+// decodedSuperPos is the in-memory form of a positive superedge graph.
+type decodedSuperPos struct {
+	srcs  []int32 // sorted local Ni IDs
+	lists [][]int32
+}
+
+func (g *decodedSuperPos) edgeCount() int64 {
+	var n int64
+	for _, l := range g.lists {
+		n += int64(len(l))
+	}
+	return n
+}
+
+func (g *decodedSuperPos) memSize() int64 {
+	n := int64(len(g.srcs))*4 + int64(len(g.lists))*24
+	for _, l := range g.lists {
+		n += int64(len(l)) * 4
+	}
+	return n
+}
+
+// targetsOf returns the local Nj targets of the given local Ni source
+// (nil if the source has none).
+func (g *decodedSuperPos) targetsOf(srcLocal int32) []int32 {
+	lo, hi := 0, len(g.srcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.srcs[mid] < srcLocal {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.srcs) && g.srcs[lo] == srcLocal {
+		return g.lists[lo]
+	}
+	return nil
+}
+
+func decodeSuperPos(buf []byte, numSrcs int, niSize, njSize int32) (*decodedSuperPos, error) {
+	r := bitio.NewByteReader(buf)
+	srcs, err := coding.ReadBoundedGapList(r, numSrcs, uint64(niSize), nil)
+	if err != nil {
+		return nil, fmt.Errorf("snode: superPos sources: %w", err)
+	}
+	lists, err := refenc.DecodeListsBounded(r, numSrcs, uint64(njSize))
+	if err != nil {
+		return nil, fmt.Errorf("snode: superPos lists: %w", err)
+	}
+	if err := checkLocalIDs([][]int32{srcs}, niSize); err != nil {
+		return nil, fmt.Errorf("snode: superPos sources: %w", err)
+	}
+	if err := checkLocalIDs(lists, njSize); err != nil {
+		return nil, fmt.Errorf("snode: superPos lists: %w", err)
+	}
+	return &decodedSuperPos{srcs: srcs, lists: lists}, nil
+}
+
+// encodeSuperNeg encodes a negative superedge graph: lists[k] is the
+// COMPLEMENT of the k-th Ni page's targets within Nj (so a page with no
+// links into Nj stores all of Nj). Decoders need |Nj| to invert.
+func encodeSuperNeg(w *bitio.Writer, complements [][]int32, njSize int32, opt refenc.Options) error {
+	opt.TargetBound = uint64(njSize)
+	_, err := refenc.EncodeLists(w, complements, opt)
+	return err
+}
+
+// decodedSuperNeg keeps the complement form; positive adjacency is
+// materialized lazily so dense blocks never explode the cache.
+type decodedSuperNeg struct {
+	njSize int32
+	lists  [][]int32 // complements, one per page of Ni
+}
+
+func (g *decodedSuperNeg) edgeCount() int64 {
+	var n int64
+	for _, l := range g.lists {
+		n += int64(len(l))
+	}
+	return n
+}
+
+func (g *decodedSuperNeg) memSize() int64 {
+	n := int64(len(g.lists)) * 24
+	for _, l := range g.lists {
+		n += int64(len(l)) * 4
+	}
+	return n + 8
+}
+
+// appendTargets appends the positive local Nj targets of the given Ni
+// local source to dst: every local ID in [0, njSize) not present in the
+// complement list.
+func (g *decodedSuperNeg) appendTargets(srcLocal int32, dst []int32) []int32 {
+	comp := g.lists[srcLocal]
+	next := int32(0)
+	for _, c := range comp {
+		for ; next < c; next++ {
+			dst = append(dst, next)
+		}
+		next = c + 1
+	}
+	for ; next < g.njSize; next++ {
+		dst = append(dst, next)
+	}
+	return dst
+}
+
+func decodeSuperNeg(buf []byte, numLists int, njSize int32) (*decodedSuperNeg, error) {
+	r := bitio.NewByteReader(buf)
+	lists, err := refenc.DecodeListsBounded(r, numLists, uint64(njSize))
+	if err != nil {
+		return nil, fmt.Errorf("snode: superNeg decode: %w", err)
+	}
+	if err := checkLocalIDs(lists, njSize); err != nil {
+		return nil, fmt.Errorf("snode: superNeg decode: %w", err)
+	}
+	return &decodedSuperNeg{njSize: njSize, lists: lists}, nil
+}
+
+// complement returns [0,n) \ list (list sorted strictly increasing).
+func complement(list []int32, n int32) []int32 {
+	out := make([]int32, 0, int(n)-len(list))
+	next := int32(0)
+	for _, v := range list {
+		for ; next < v; next++ {
+			out = append(out, next)
+		}
+		next = v + 1
+	}
+	for ; next < n; next++ {
+		out = append(out, next)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package snode
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snode/internal/iosim"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+// A damaged representation must surface as an error (or, for payload
+// bytes whose corruption still decodes, wrong data) — never a panic or
+// a runaway allocation.
+
+func buildTinyRep(t *testing.T) (dir string) {
+	t.Helper()
+	crawl, err := synth.Generate(synth.DefaultConfig(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir = t.TempDir()
+	if _, err := Build(crawl.Corpus, DefaultConfig(), dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// tryOpenAndRead opens the representation and reads every page,
+// recovering from panics (which fail the test).
+func tryOpenAndRead(t *testing.T, dir string, tag string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panic: %v", tag, r)
+		}
+	}()
+	rep, err := Open(dir, 1<<20, iosim.Model2002())
+	if err != nil {
+		return // rejected at open: fine
+	}
+	defer rep.Close()
+	var buf []webgraph.PageID
+	for p := 0; p < rep.NumPages(); p++ {
+		buf, _ = rep.Out(webgraph.PageID(p), buf[:0]) // errors are fine
+	}
+}
+
+func corruptCopy(t *testing.T, src string, mutate func(path string)) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(dst)
+	return dst
+}
+
+func TestCorruptMetaNoPanic(t *testing.T) {
+	src := buildTinyRep(t)
+	meta, err := os.ReadFile(filepath.Join(src, "meta.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a spread of byte positions (every ~97th to keep runtime sane).
+	for pos := 0; pos < len(meta); pos += 97 {
+		pos := pos
+		dir := corruptCopy(t, src, func(d string) {
+			m := append([]byte(nil), meta...)
+			m[pos] ^= 0xFF
+			if err := os.WriteFile(filepath.Join(d, "meta.bin"), m, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+		tryOpenAndRead(t, dir, "meta byte flip")
+	}
+}
+
+func TestTruncatedMetaNoPanic(t *testing.T) {
+	src := buildTinyRep(t)
+	meta, err := os.ReadFile(filepath.Join(src, "meta.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{0, 1, 2, 3} {
+		cut := len(meta) * frac / 4
+		dir := corruptCopy(t, src, func(d string) {
+			if err := os.WriteFile(filepath.Join(d, "meta.bin"), meta[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if _, err := Open(dir, 1<<20, iosim.Model2002()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptIndexFileNoPanic(t *testing.T) {
+	src := buildTinyRep(t)
+	data, err := os.ReadFile(filepath.Join(src, "graphs.000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos += 53 {
+		pos := pos
+		dir := corruptCopy(t, src, func(d string) {
+			g := append([]byte(nil), data...)
+			g[pos] ^= 0xFF
+			if err := os.WriteFile(filepath.Join(d, "graphs.000"), g, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+		tryOpenAndRead(t, dir, "index byte flip")
+	}
+}
+
+func TestMissingIndexFile(t *testing.T) {
+	src := buildTinyRep(t)
+	dir := corruptCopy(t, src, func(d string) {
+		if err := os.Remove(filepath.Join(d, "graphs.000")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := Open(dir, 1<<20, iosim.Model2002()); err == nil {
+		t.Fatal("missing index file accepted")
+	}
+}

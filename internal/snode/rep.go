@@ -1,0 +1,413 @@
+package snode
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"snode/internal/iosim"
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// Representation is an opened, queryable S-Node representation. It
+// implements store.LinkStore. Out-of-line graphs are demand-loaded
+// through the buffer manager; the supernode graph and the indexes stay
+// in memory, like the paper's setup.
+type Representation struct {
+	dir   string
+	m     *meta
+	cache *graphCache
+	acc   *iosim.Accountant
+	files []*iosim.File
+
+	// domainOfSN[s] = index into m.Domains for supernode s.
+	domainOfSN []int32
+	readBuf    []byte
+}
+
+// Open loads the representation in dir, with the given buffer-manager
+// budget and disk model.
+func Open(dir string, cacheBudget int64, model iosim.Model) (*Representation, error) {
+	m, err := readMeta(filepath.Join(dir, "meta.bin"))
+	if err != nil {
+		return nil, err
+	}
+	acc := iosim.NewAccountant(model)
+	r := &Representation{
+		dir:   dir,
+		m:     m,
+		cache: newGraphCache(cacheBudget),
+		acc:   acc,
+	}
+	for i := range m.FileSizes {
+		f, err := acc.Open(indexFileName(dir, int32(i)))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.files = append(r.files, f)
+	}
+	r.domainOfSN = make([]int32, m.Stats.Supernodes)
+	for k := 0; k+1 < len(m.DomFirstSN); k++ {
+		for s := m.DomFirstSN[k]; s < m.DomFirstSN[k+1]; s++ {
+			r.domainOfSN[s] = int32(k)
+		}
+	}
+	return r, nil
+}
+
+// Name implements store.LinkStore.
+func (r *Representation) Name() string { return "snode" }
+
+// NumPages implements store.LinkStore.
+func (r *Representation) NumPages() int { return int(r.m.NumPages) }
+
+// Stats implements store.LinkStore (I/O plus graph loads).
+func (r *Representation) Stats() store.AccessStats {
+	return store.AccessStats{IO: r.acc.Stats(), GraphsLoaded: r.cache.stats.Loads}
+}
+
+// StatsExt reports the extended S-Node statistics.
+func (r *Representation) StatsExt() AccessStatsExt {
+	return AccessStatsExt{IO: r.acc.Stats(), Cache: r.cache.stats}
+}
+
+// DecodedEdges reports edges decoded since the last stats reset.
+func (r *Representation) DecodedEdges() int64 { return r.cache.decoded }
+
+// ResetStats implements store.LinkStore. The buffer manager's contents
+// are retained (a warm cache between queries, as in the paper's
+// repeated-trial methodology); counters are zeroed.
+func (r *Representation) ResetStats() {
+	r.acc.Reset()
+	r.cache.stats = CacheStats{}
+	r.cache.decoded = 0
+}
+
+// ResetCache empties the buffer manager and sets a new budget (used by
+// the Figure 12 sweep).
+func (r *Representation) ResetCache(budget int64) {
+	r.cache.reset(budget)
+	r.acc.Reset()
+}
+
+// BuildStats returns the stored build statistics.
+func (r *Representation) BuildStats() BuildStats { return r.m.Stats }
+
+// SizeBytes implements store.Sized (Table 1 accounting).
+func (r *Representation) SizeBytes() int64 { return r.m.Stats.SizeBytes() }
+
+// Close releases the index files.
+func (r *Representation) Close() error {
+	var first error
+	for _, f := range r.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.files = nil
+	return first
+}
+
+// snOf returns the supernode owning an internal page ID (PageID index:
+// binary search over the contiguous ranges).
+func (r *Representation) snOf(internal int32) int32 {
+	lo, hi := 0, len(r.m.SnBase)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if r.m.SnBase[mid] <= internal {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// DomainSupernodes returns the supernode range [lo, hi) for a domain
+// via the domain index, and whether the domain exists.
+func (r *Representation) DomainSupernodes(domain string) (lo, hi int32, ok bool) {
+	k := sort.SearchStrings(r.m.Domains, domain)
+	if k == len(r.m.Domains) || r.m.Domains[k] != domain {
+		return 0, 0, false
+	}
+	return r.m.DomFirstSN[k], r.m.DomFirstSN[k+1], true
+}
+
+// load returns the decoded graph gid, from cache or disk.
+func (r *Representation) load(gid GraphID) (decodedGraph, error) {
+	if g, ok := r.cache.get(gid); ok {
+		return g, nil
+	}
+	e := &r.m.Directory[gid]
+	if int(e.File) >= len(r.files) {
+		return nil, fmt.Errorf("snode: graph %d in missing file %d", gid, e.File)
+	}
+	if cap(r.readBuf) < int(e.NumBytes) {
+		r.readBuf = make([]byte, e.NumBytes)
+	}
+	buf := r.readBuf[:e.NumBytes]
+	if _, err := r.files[e.File].ReadAt(buf, e.Offset); err != nil {
+		return nil, fmt.Errorf("snode: read graph %d: %w", gid, err)
+	}
+	return r.decodeAndCache(gid, buf)
+}
+
+func (r *Representation) decodeAndCache(gid GraphID, buf []byte) (decodedGraph, error) {
+	e := &r.m.Directory[gid]
+	var g decodedGraph
+	var err error
+	switch e.Kind {
+	case kindIntra:
+		g, err = decodeIntra(buf, int(e.NumLists))
+	case kindSuperPos:
+		niSize := r.m.SnBase[e.I+1] - r.m.SnBase[e.I]
+		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
+		g, err = decodeSuperPos(buf, int(e.NumLists), niSize, njSize)
+	case kindSuperNeg:
+		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
+		g, err = decodeSuperNeg(buf, int(e.NumLists), njSize)
+	default:
+		err = fmt.Errorf("snode: graph %d has unknown kind %d", gid, e.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.cache.put(gid, g, e.Kind)
+	return g, nil
+}
+
+// Out implements store.LinkStore: the full adjacency of external page
+// p, assembled from the intranode graph and every out-superedge graph
+// of p's supernode (the paper's noted trade-off of partitioned
+// adjacency lists).
+func (r *Representation) Out(p webgraph.PageID, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	return r.OutFiltered(p, nil, buf)
+}
+
+// OutFiltered implements store.LinkStore. The filter is exploited
+// structurally: a superedge graph is loaded only when its target
+// supernode can contain accepted pages, which is how S-Node achieves
+// focused access (§1.2, Requirement 2).
+func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	if p < 0 || p >= r.m.NumPages {
+		return buf, fmt.Errorf("snode: page %d out of range", p)
+	}
+	internal := r.m.Perm[p]
+	i := r.snOf(internal)
+	local := internal - r.m.SnBase[i]
+
+	// Per-call view of which supernodes the filter accepts.
+	var acceptSN func(sn int32) bool
+	var acceptDomainOf func(sn int32) bool
+	if !f.Empty() {
+		var pageSNs map[int32]bool
+		if f.Pages != nil {
+			pageSNs = make(map[int32]bool, len(f.Pages))
+			for pg := range f.Pages {
+				if pg >= 0 && pg < r.m.NumPages {
+					pageSNs[r.snOf(r.m.Perm[pg])] = true
+				}
+			}
+		}
+		acceptDomainOf = func(sn int32) bool {
+			return f.Domains != nil && f.Domains[r.m.Domains[r.domainOfSN[sn]]]
+		}
+		acceptSN = func(sn int32) bool {
+			if acceptDomainOf(sn) {
+				return true
+			}
+			return pageSNs[sn]
+		}
+	}
+
+	emit := func(j int32, locals []int32) {
+		base := r.m.SnBase[j]
+		if f.Empty() {
+			for _, t := range locals {
+				buf = append(buf, r.m.Inv[base+t])
+			}
+			return
+		}
+		domOK := acceptDomainOf(j)
+		for _, t := range locals {
+			ext := r.m.Inv[base+t]
+			if domOK || f.AcceptsPage(ext) {
+				buf = append(buf, ext)
+			}
+		}
+	}
+
+	// Process each needed graph exactly once, streaming: emit this
+	// page's targets from a graph the moment it is available, so a
+	// working set larger than the cache budget is read once per access
+	// rather than thrashing (load-all then re-read). Uncached graphs are
+	// fetched with span reads — §3.3's disk layout puts a supernode's
+	// graphs in one contiguous ascending run, so the spans collapse into
+	// few sequential reads.
+	var negBuf []int32
+	var firstErr error
+	process := func(gid GraphID, j int32, g decodedGraph) {
+		if firstErr != nil {
+			return
+		}
+		switch sg := g.(type) {
+		case *decodedIntra:
+			emit(j, sg.lists[local])
+		case *decodedSuperPos:
+			if ts := sg.targetsOf(local); ts != nil {
+				emit(j, ts)
+			}
+		case *decodedSuperNeg:
+			negBuf = sg.appendTargets(local, negBuf[:0])
+			emit(j, negBuf)
+		default:
+			firstErr = fmt.Errorf("snode: graph %d has wrong type", gid)
+		}
+	}
+
+	type needEntry struct {
+		gid GraphID
+		j   int32
+	}
+	var need []needEntry
+	if acceptSN == nil || acceptSN(i) {
+		need = append(need, needEntry{r.m.IntraGID[i], i})
+	}
+	for k := r.m.SuperOff[i]; k < r.m.SuperOff[i+1]; k++ {
+		if j := r.m.SuperAdj[k]; acceptSN == nil || acceptSN(j) {
+			need = append(need, needEntry{r.m.SuperGID[k], j})
+		}
+	}
+
+	// Pass 1: emit from cached graphs; collect misses (ascending gid ==
+	// disk order, because the intranode graph precedes its superedges).
+	var miss []needEntry
+	for _, ne := range need {
+		if g, ok := r.cache.get(ne.gid); ok {
+			process(ne.gid, ne.j, g)
+		} else {
+			miss = append(miss, ne)
+		}
+	}
+	// Pass 2: span-read the misses, emitting as each graph decodes.
+	for k := 0; k < len(miss) && firstErr == nil; {
+		first := &r.m.Directory[miss[k].gid]
+		end := k + 1
+		spanEnd := first.Offset + int64(first.NumBytes)
+		const maxGap = 64 << 10
+		for end < len(miss) {
+			e := &r.m.Directory[miss[end].gid]
+			if e.File != first.File || e.Offset-spanEnd > maxGap {
+				break
+			}
+			spanEnd = e.Offset + int64(e.NumBytes)
+			end++
+		}
+		n := int(spanEnd - first.Offset)
+		if cap(r.readBuf) < n {
+			r.readBuf = make([]byte, n)
+		}
+		rb := r.readBuf[:n]
+		if _, err := r.files[first.File].ReadAt(rb, first.Offset); err != nil {
+			return buf, fmt.Errorf("snode: span read: %w", err)
+		}
+		for _, ne := range miss[k:end] {
+			e := &r.m.Directory[ne.gid]
+			off := e.Offset - first.Offset
+			g, err := r.decodeAndCache(ne.gid, rb[off:off+int64(e.NumBytes)])
+			if err != nil {
+				return buf, err
+			}
+			process(ne.gid, ne.j, g)
+		}
+		k = end
+	}
+	return buf, firstErr
+}
+
+// DecodeAll materializes the entire graph in memory as a CSR webgraph
+// (external IDs) — the "global access" mode for mining tasks. It
+// bypasses the cache.
+func (r *Representation) DecodeAll() (*webgraph.Graph, error) {
+	b := webgraph.NewBuilder(int(r.m.NumPages))
+	var buf []webgraph.PageID
+	for p := int32(0); p < r.m.NumPages; p++ {
+		var err error
+		buf, err = r.Out(p, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range buf {
+			b.AddEdge(p, q)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Verify decodes every graph in the directory and checks the
+// representation's cross-structure invariants: every list decodes
+// within its local ID space, positive superedge graphs have sources,
+// every superedge graph corresponds to a supernode-graph edge, and the
+// total positive edge count matches the recorded NumEdges. It reads the
+// whole representation once (sequentially) and leaves the cache as it
+// found it budget-wise.
+func (r *Representation) Verify() error {
+	var edges int64
+	for s := int32(0); s < int32(r.m.Stats.Supernodes); s++ {
+		g, err := r.load(r.m.IntraGID[s])
+		if err != nil {
+			return fmt.Errorf("snode: verify intranode %d: %w", s, err)
+		}
+		ig, ok := g.(*decodedIntra)
+		if !ok {
+			return fmt.Errorf("snode: intranode pointer of %d resolves to a superedge graph", s)
+		}
+		size := r.m.SnBase[s+1] - r.m.SnBase[s]
+		if int32(len(ig.lists)) != size {
+			return fmt.Errorf("snode: intranode %d has %d lists for %d pages", s, len(ig.lists), size)
+		}
+		edges += ig.edgeCount()
+		for k := r.m.SuperOff[s]; k < r.m.SuperOff[s+1]; k++ {
+			j := r.m.SuperAdj[k]
+			e := &r.m.Directory[r.m.SuperGID[k]]
+			if e.I != s || e.J != j {
+				return fmt.Errorf("snode: superedge (%d,%d) directory entry labels (%d,%d)",
+					s, j, e.I, e.J)
+			}
+			sg, err := r.load(r.m.SuperGID[k])
+			if err != nil {
+				return fmt.Errorf("snode: verify superedge (%d,%d): %w", s, j, err)
+			}
+			njSize := int64(r.m.SnBase[j+1] - r.m.SnBase[j])
+			switch t := sg.(type) {
+			case *decodedSuperPos:
+				pos := t.edgeCount()
+				if pos == 0 {
+					return fmt.Errorf("snode: superedge (%d,%d) is empty (no such edge should exist)", s, j)
+				}
+				edges += pos
+			case *decodedSuperNeg:
+				neg := t.edgeCount()
+				pos := int64(size)*njSize - neg
+				if pos <= 0 {
+					return fmt.Errorf("snode: negative superedge (%d,%d) implies %d links", s, j, pos)
+				}
+				edges += pos
+			default:
+				return fmt.Errorf("snode: superedge (%d,%d) has intranode kind", s, j)
+			}
+		}
+	}
+	if edges != r.m.NumEdges {
+		return fmt.Errorf("snode: representation holds %d links, metadata records %d",
+			edges, r.m.NumEdges)
+	}
+	return nil
+}
+
+// Supernodes reports the supernode count; Superedges the superedge
+// count (Figure 9 metrics).
+func (r *Representation) Supernodes() int   { return r.m.Stats.Supernodes }
+func (r *Representation) Superedges() int64 { return r.m.Stats.Superedges }

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"sync"
+
+	"snode/internal/webgraph"
+)
+
+// Synchronized wraps a LinkStore with a mutex, making it safe for
+// concurrent use. The underlying stores are deliberately single-
+// threaded (their caches and scratch buffers are shared mutable state,
+// and the paper's query plans are sequential); wrap when serving
+// concurrent readers.
+func Synchronized(s LinkStore) LinkStore {
+	return &syncStore{inner: s}
+}
+
+type syncStore struct {
+	mu    sync.Mutex
+	inner LinkStore
+}
+
+func (s *syncStore) Name() string  { return s.inner.Name() }
+func (s *syncStore) NumPages() int { return s.inner.NumPages() }
+
+func (s *syncStore) Out(p webgraph.PageID, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Out(p, buf)
+}
+
+func (s *syncStore) OutFiltered(p webgraph.PageID, f *Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OutFiltered(p, f, buf)
+}
+
+func (s *syncStore) Stats() AccessStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Stats()
+}
+
+func (s *syncStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.ResetStats()
+}
+
+func (s *syncStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Close()
+}
+
+// ResetCache forwards when the inner store supports it, so a wrapped
+// store still satisfies CacheResetter.
+func (s *syncStore) ResetCache(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cr, ok := s.inner.(CacheResetter); ok {
+		cr.ResetCache(budget)
+	}
+}

@@ -1,0 +1,65 @@
+package store_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// TestSynchronizedConcurrentReaders hammers a wrapped store from many
+// goroutines; run with -race to verify the wrapper's guarantees.
+func TestSynchronizedConcurrentReaders(t *testing.T) {
+	c, stores := buildAll(t)
+	for _, raw := range stores {
+		s := store.Synchronized(raw)
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var buf []webgraph.PageID
+				for p := int32(w); int(p) < c.Graph.NumPages(); p += 8 * 7 {
+					var err error
+					buf, err = s.Out(p, buf[:0])
+					if err != nil {
+						errs <- err
+						return
+					}
+					got := append([]webgraph.PageID(nil), buf...)
+					sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+					want := c.Graph.Out(p)
+					if len(got) != len(want) {
+						t.Errorf("%s: page %d: %d targets, want %d",
+							s.Name(), p, len(got), len(want))
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%s: %v", raw.Name(), err)
+		}
+	}
+}
+
+func TestSynchronizedForwardsCacheReset(t *testing.T) {
+	_, stores := buildAll(t)
+	for _, raw := range stores {
+		s := store.Synchronized(raw)
+		if _, ok := raw.(store.CacheResetter); ok {
+			if _, ok := s.(store.CacheResetter); !ok {
+				t.Fatalf("%s: wrapper lost CacheResetter", raw.Name())
+			}
+			s.(store.CacheResetter).ResetCache(1 << 20)
+		}
+		if s.Name() != raw.Name() || s.NumPages() != raw.NumPages() {
+			t.Fatalf("%s: wrapper changed identity", raw.Name())
+		}
+	}
+}

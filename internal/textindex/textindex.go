@@ -1,0 +1,87 @@
+// Package textindex provides the inverted text index complex queries
+// resolve their page sets against (paper §4.3: "complex queries require
+// access to other indexes such as a text-index"). Terms are normalized
+// tokens; scenario phrases are single tokens (e.g. "mobile_networking"),
+// matching the crawl generator's vocabulary. Index access is not part
+// of measured navigation time, exactly as in the paper.
+package textindex
+
+import (
+	"sort"
+
+	"snode/internal/webgraph"
+)
+
+// Index maps terms to sorted posting lists.
+type Index struct {
+	postings map[string][]webgraph.PageID
+}
+
+// Build indexes the corpus metadata.
+func Build(pages []webgraph.PageMeta) *Index {
+	idx := &Index{postings: map[string][]webgraph.PageID{}}
+	for pid, pm := range pages {
+		seen := map[string]bool{}
+		for _, t := range pm.Terms {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			idx.postings[t] = append(idx.postings[t], webgraph.PageID(pid))
+		}
+	}
+	// Page IDs were appended in increasing order, so lists are sorted.
+	return idx
+}
+
+// Lookup returns the pages containing term (nil if none). The returned
+// slice is shared; callers must not modify it.
+func (idx *Index) Lookup(term string) []webgraph.PageID {
+	return idx.postings[term]
+}
+
+// NumTerms reports the vocabulary size.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// PagesWithAtLeast returns, sorted, the pages containing at least k of
+// the given terms (each term counted once per page) — the Query 2
+// predicate "at least two of the words in Cw".
+func (idx *Index) PagesWithAtLeast(terms []string, k int) []webgraph.PageID {
+	counts := map[webgraph.PageID]int{}
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		for _, p := range idx.postings[t] {
+			counts[p]++
+		}
+	}
+	var out []webgraph.PageID
+	for p, c := range counts {
+		if c >= k {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LookupInRange returns the pages containing term whose IDs fall in
+// [lo, hi) — term search restricted to a domain's contiguous ID range.
+func (idx *Index) LookupInRange(term string, lo, hi webgraph.PageID) []webgraph.PageID {
+	post := idx.postings[term]
+	a := sort.Search(len(post), func(i int) bool { return post[i] >= lo })
+	b := sort.Search(len(post), func(i int) bool { return post[i] >= hi })
+	return post[a:b]
+}
+
+// SizeBytes estimates the index memory footprint.
+func (idx *Index) SizeBytes() int64 {
+	var n int64
+	for t, post := range idx.postings {
+		n += int64(len(t)) + 4*int64(len(post)) + 24
+	}
+	return n
+}

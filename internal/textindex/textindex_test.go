@@ -1,0 +1,94 @@
+package textindex
+
+import (
+	"testing"
+
+	"snode/internal/webgraph"
+)
+
+func sampleIndex() *Index {
+	pages := []webgraph.PageMeta{
+		{URL: "u0", Domain: "a.com", Terms: []string{"apple", "banana"}},
+		{URL: "u1", Domain: "a.com", Terms: []string{"banana", "cherry", "banana"}},
+		{URL: "u2", Domain: "b.com", Terms: []string{"apple", "cherry"}},
+		{URL: "u3", Domain: "b.com", Terms: []string{"mobile_networking"}},
+	}
+	return Build(pages)
+}
+
+func TestLookup(t *testing.T) {
+	idx := sampleIndex()
+	post := idx.Lookup("banana")
+	if len(post) != 2 || post[0] != 0 || post[1] != 1 {
+		t.Fatalf("banana postings = %v", post)
+	}
+	if idx.Lookup("missing") != nil {
+		t.Fatal("missing term returned postings")
+	}
+}
+
+func TestDuplicateTermsCountedOnce(t *testing.T) {
+	idx := sampleIndex()
+	// Page 1 lists "banana" twice; postings must contain it once.
+	post := idx.Lookup("banana")
+	for i := 1; i < len(post); i++ {
+		if post[i] == post[i-1] {
+			t.Fatal("duplicate posting")
+		}
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	idx := sampleIndex()
+	for _, term := range []string{"apple", "banana", "cherry"} {
+		post := idx.Lookup(term)
+		for i := 1; i < len(post); i++ {
+			if post[i] <= post[i-1] {
+				t.Fatalf("%s postings unsorted: %v", term, post)
+			}
+		}
+	}
+}
+
+func TestPagesWithAtLeast(t *testing.T) {
+	idx := sampleIndex()
+	got := idx.PagesWithAtLeast([]string{"apple", "banana", "cherry"}, 2)
+	// Page 0: apple+banana, page 1: banana+cherry, page 2: apple+cherry.
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	got = idx.PagesWithAtLeast([]string{"apple", "mobile_networking"}, 2)
+	if len(got) != 0 {
+		t.Fatalf("expected none, got %v", got)
+	}
+	// Duplicate query terms must not double-count.
+	got = idx.PagesWithAtLeast([]string{"apple", "apple"}, 2)
+	if len(got) != 0 {
+		t.Fatalf("duplicate terms double-counted: %v", got)
+	}
+}
+
+func TestLookupInRange(t *testing.T) {
+	idx := sampleIndex()
+	got := idx.LookupInRange("apple", 1, 4)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("range lookup = %v", got)
+	}
+	got = idx.LookupInRange("apple", 0, 4)
+	if len(got) != 2 {
+		t.Fatalf("full-range lookup = %v", got)
+	}
+	if got := idx.LookupInRange("apple", 3, 4); len(got) != 0 {
+		t.Fatalf("empty range lookup = %v", got)
+	}
+}
+
+func TestNumTermsAndSize(t *testing.T) {
+	idx := sampleIndex()
+	if idx.NumTerms() != 4 {
+		t.Fatalf("NumTerms = %d", idx.NumTerms())
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}

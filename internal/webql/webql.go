@@ -1,0 +1,329 @@
+// Package webql is the declarative query layer the paper names as
+// missing infrastructure (§4.3: "Since the Stanford WebBase repository
+// ... does not yet have declarative query execution facilities, for
+// each query, we hand-crafted execution plans"). It provides the three
+// views of a repository the paper's introduction calls for — text
+// collection, navigable graph, relational page properties — as
+// composable plan operators:
+//
+//	result, err := webql.NewPlan(repo).
+//	    Pages(webql.Phrase("mobile_networking"), webql.InDomain("stanford.edu")).
+//	    WeightBy(webql.PageRankWeight).
+//	    Out(webql.TargetDomains(eduSet)).
+//	    GroupByDomain(webql.SumSourceWeights).
+//	    Top(20).
+//	    Run(scheme)
+//
+// Plans compile to the same navigation primitives the hand-crafted
+// queries use, so the representation under test still determines
+// performance; the engine exploits filters structurally where the
+// scheme allows it (S-Node skips superedge graphs).
+package webql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// PageSelector restricts the initial page set.
+type PageSelector func(r *repo.Repository) (map[webgraph.PageID]bool, error)
+
+// Phrase selects pages containing a phrase token.
+func Phrase(phrase string) PageSelector {
+	return func(r *repo.Repository) (map[webgraph.PageID]bool, error) {
+		out := map[webgraph.PageID]bool{}
+		for _, p := range r.Text.Lookup(phrase) {
+			out[p] = true
+		}
+		return out, nil
+	}
+}
+
+// WordsAtLeast selects pages containing at least k of the words.
+func WordsAtLeast(words []string, k int) PageSelector {
+	return func(r *repo.Repository) (map[webgraph.PageID]bool, error) {
+		out := map[webgraph.PageID]bool{}
+		for _, p := range r.Text.PagesWithAtLeast(words, k) {
+			out[p] = true
+		}
+		return out, nil
+	}
+}
+
+// InDomain restricts to one registered domain.
+func InDomain(domain string) PageSelector {
+	return func(r *repo.Repository) (map[webgraph.PageID]bool, error) {
+		dr, ok := r.Domains[domain]
+		if !ok {
+			return map[webgraph.PageID]bool{}, nil
+		}
+		out := map[webgraph.PageID]bool{}
+		for p := dr.Lo; p < dr.Hi; p++ {
+			out[p] = true
+		}
+		return out, nil
+	}
+}
+
+// TopByPageRank keeps the k highest-PageRank pages of the selection so
+// far (applied in selector order).
+func TopByPageRank(k int) PageSelector {
+	return func(r *repo.Repository) (map[webgraph.PageID]bool, error) {
+		return nil, errTopByRankMarker{k: k}
+	}
+}
+
+// errTopByRankMarker smuggles the parameter through the selector list;
+// Pages handles it specially since it operates on the accumulated set.
+type errTopByRankMarker struct{ k int }
+
+func (errTopByRankMarker) Error() string { return "webql: internal marker" }
+
+// TargetFilter restricts navigation targets.
+type TargetFilter func(r *repo.Repository) *store.Filter
+
+// TargetDomains accepts targets in the given domains.
+func TargetDomains(domains map[string]bool) TargetFilter {
+	return func(*repo.Repository) *store.Filter {
+		return &store.Filter{Domains: domains}
+	}
+}
+
+// TargetTLD accepts targets whose registered domain has the given TLD
+// (e.g. "edu"), optionally excluding some domains.
+func TargetTLD(tld string, exclude ...string) TargetFilter {
+	return func(r *repo.Repository) *store.Filter {
+		ex := map[string]bool{}
+		for _, d := range exclude {
+			ex[d] = true
+		}
+		set := map[string]bool{}
+		for d := range r.Domains {
+			if strings.HasSuffix(d, "."+tld) && !ex[d] {
+				set[d] = true
+			}
+		}
+		return &store.Filter{Domains: set}
+	}
+}
+
+// TargetPages accepts exactly the given target pages.
+func TargetPages(pages map[webgraph.PageID]bool) TargetFilter {
+	return func(*repo.Repository) *store.Filter {
+		return &store.Filter{Pages: pages}
+	}
+}
+
+// AnyTarget accepts everything (full adjacency).
+func AnyTarget() TargetFilter {
+	return func(*repo.Repository) *store.Filter { return nil }
+}
+
+// Weighting assigns source-page weights.
+type Weighting func(r *repo.Repository, p webgraph.PageID) float64
+
+// PageRankWeight weights a page by normalized PageRank (Analysis 1).
+func PageRankWeight(r *repo.Repository, p webgraph.PageID) float64 {
+	return r.PageRank[p]
+}
+
+// UnitWeight counts each page once.
+func UnitWeight(*repo.Repository, webgraph.PageID) float64 { return 1 }
+
+// Aggregation folds navigation hits into keyed scores.
+type Aggregation int
+
+// Aggregations over (source, target) navigation hits.
+const (
+	// SumSourceWeights adds each source's weight once per key it
+	// reaches (Analysis 1's domain weighting).
+	SumSourceWeights Aggregation = iota
+	// CountLinks counts every link (Analysis 2's C2).
+	CountLinks
+)
+
+// Row is one line of a result.
+type Row struct {
+	Key   string
+	Score float64
+}
+
+// Plan is a buildable, immutable-once-run query plan.
+type Plan struct {
+	r         *repo.Repository
+	selectors []PageSelector
+	weight    Weighting
+	direction int // +1 out, -1 in
+	target    TargetFilter
+	groupBy   func(r *repo.Repository, t webgraph.PageID) string
+	agg       Aggregation
+	topK      int
+	err       error
+}
+
+// NewPlan starts a plan over the repository.
+func NewPlan(r *repo.Repository) *Plan {
+	return &Plan{r: r, weight: UnitWeight, direction: +1, target: AnyTarget(), topK: -1}
+}
+
+// Pages sets the source selection: the intersection of all selectors,
+// with TopByPageRank applied after the set selectors.
+func (p *Plan) Pages(selectors ...PageSelector) *Plan {
+	p.selectors = selectors
+	return p
+}
+
+// WeightBy sets the source weighting.
+func (p *Plan) WeightBy(w Weighting) *Plan {
+	p.weight = w
+	return p
+}
+
+// Out navigates forward links under the filter.
+func (p *Plan) Out(f TargetFilter) *Plan {
+	p.direction = +1
+	p.target = f
+	return p
+}
+
+// In navigates backlinks under the filter (requires a transpose
+// representation).
+func (p *Plan) In(f TargetFilter) *Plan {
+	p.direction = -1
+	p.target = f
+	return p
+}
+
+// GroupByDomain aggregates hits per target domain.
+func (p *Plan) GroupByDomain(agg Aggregation) *Plan {
+	p.groupBy = func(r *repo.Repository, t webgraph.PageID) string {
+		return r.DomainOf(t)
+	}
+	p.agg = agg
+	return p
+}
+
+// GroupByPage aggregates hits per target page URL.
+func (p *Plan) GroupByPage(agg Aggregation) *Plan {
+	p.groupBy = func(r *repo.Repository, t webgraph.PageID) string {
+		return r.Corpus.Pages[t].URL
+	}
+	p.agg = agg
+	return p
+}
+
+// Top keeps the k highest-scored rows.
+func (p *Plan) Top(k int) *Plan {
+	p.topK = k
+	return p
+}
+
+// resolve computes the source set, in ascending page order.
+func (p *Plan) resolve() ([]webgraph.PageID, error) {
+	var cur map[webgraph.PageID]bool
+	topRank := 0
+	for _, sel := range p.selectors {
+		set, err := sel(p.r)
+		if err != nil {
+			if m, ok := err.(errTopByRankMarker); ok {
+				topRank = m.k
+				continue
+			}
+			return nil, err
+		}
+		if cur == nil {
+			cur = set
+			continue
+		}
+		for pg := range cur {
+			if !set[pg] {
+				delete(cur, pg)
+			}
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("webql: plan has no page selection")
+	}
+	out := make([]webgraph.PageID, 0, len(cur))
+	for pg := range cur {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if topRank > 0 && len(out) > topRank {
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if p.r.PageRank[a] != p.r.PageRank[b] {
+				return p.r.PageRank[a] > p.r.PageRank[b]
+			}
+			return a < b
+		})
+		out = out[:topRank]
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out, nil
+}
+
+// Run executes the plan against the named representation.
+func (p *Plan) Run(scheme string) ([]Row, error) {
+	if p.groupBy == nil {
+		return nil, fmt.Errorf("webql: plan has no aggregation (GroupBy...)")
+	}
+	src, err := p.resolve()
+	if err != nil {
+		return nil, err
+	}
+	var s store.LinkStore
+	if p.direction > 0 {
+		s = p.r.Fwd[scheme]
+	} else {
+		s = p.r.Rev[scheme]
+	}
+	if s == nil {
+		return nil, fmt.Errorf("webql: scheme %q not available for this direction", scheme)
+	}
+	filter := p.target(p.r)
+	scores := map[string]float64{}
+	var buf []webgraph.PageID
+	for _, pg := range src {
+		buf, err = s.OutFiltered(pg, filter, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		switch p.agg {
+		case SumSourceWeights:
+			seen := map[string]bool{}
+			w := p.weight(p.r, pg)
+			for _, t := range buf {
+				k := p.groupBy(p.r, t)
+				if !seen[k] {
+					seen[k] = true
+					scores[k] += w
+				}
+			}
+		case CountLinks:
+			w := p.weight(p.r, pg)
+			for _, t := range buf {
+				scores[p.groupBy(p.r, t)] += w
+			}
+		}
+	}
+	rows := make([]Row, 0, len(scores))
+	for k, v := range scores {
+		rows = append(rows, Row{Key: k, Score: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Score != rows[j].Score {
+			return rows[i].Score > rows[j].Score
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if p.topK >= 0 && len(rows) > p.topK {
+		rows = rows[:p.topK]
+	}
+	return rows, nil
+}

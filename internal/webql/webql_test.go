@@ -1,0 +1,182 @@
+package webql
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/synth"
+)
+
+var testRepo *repo.Repository
+
+func getRepo(t testing.TB) *repo.Repository {
+	t.Helper()
+	if testRepo != nil {
+		return testRepo
+	}
+	crawl, err := synth.Generate(synth.DefaultConfig(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "webql-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repo.DefaultOptions(dir)
+	opt.Schemes = []string{repo.SchemeSNode, repo.SchemeFiles}
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRepo = r
+	return r
+}
+
+// The declarative plan for Analysis 1 must produce exactly the
+// hand-crafted Query 1's rows.
+func TestAnalysis1MatchesHandCraftedPlan(t *testing.T) {
+	r := getRepo(t)
+	rows, err := NewPlan(r).
+		Pages(Phrase(synth.PhraseMobileNetworking), InDomain("stanford.edu")).
+		WeightBy(PageRankWeight).
+		Out(TargetTLD("edu", "stanford.edu")).
+		GroupByDomain(SumSourceWeights).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := query.New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Run(query.Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want.Rows) {
+		t.Fatalf("webql %d rows, hand-crafted %d", len(rows), len(want.Rows))
+	}
+	for i := range rows {
+		if rows[i].Key != want.Rows[i].Key ||
+			math.Abs(rows[i].Score-want.Rows[i].Value) > 1e-12 {
+			t.Fatalf("row %d: webql %+v, hand-crafted %+v", i, rows[i], want.Rows[i])
+		}
+	}
+}
+
+func TestPlansAgreeAcrossSchemes(t *testing.T) {
+	r := getRepo(t)
+	build := func() *Plan {
+		return NewPlan(r).
+			Pages(Phrase(synth.PhraseComputerMusic)).
+			Out(AnyTarget()).
+			GroupByDomain(CountLinks).
+			Top(10)
+	}
+	a, err := build().Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Run(repo.SchemeFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInNavigation(t *testing.T) {
+	r := getRepo(t)
+	rows, err := NewPlan(r).
+		Pages(Phrase(synth.PhraseQuantumCryptography), InDomain("stanford.edu")).
+		In(AnyTarget()).
+		GroupByDomain(CountLinks).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no in-link sources found")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Score > rows[i-1].Score {
+			t.Fatal("rows not sorted by score")
+		}
+	}
+}
+
+func TestTopByPageRankSelector(t *testing.T) {
+	r := getRepo(t)
+	rows, err := NewPlan(r).
+		Pages(Phrase(synth.PhraseInternetCensorship), TopByPageRank(5)).
+		Out(AnyTarget()).
+		GroupByPage(CountLinks).
+		Top(3).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) > 3 {
+		t.Fatalf("Top(3) returned %d rows", len(rows))
+	}
+}
+
+func TestWordsAtLeastSelector(t *testing.T) {
+	r := getRepo(t)
+	comic := synth.Comics()[0]
+	rows, err := NewPlan(r).
+		Pages(WordsAtLeast(comic.Words, 2), InDomain("stanford.edu")).
+		Out(TargetDomains(map[string]bool{comic.Site: true})).
+		GroupByDomain(CountLinks).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Key != comic.Site {
+			t.Fatalf("unexpected domain %s", row.Key)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	r := getRepo(t)
+	if _, err := NewPlan(r).Out(AnyTarget()).GroupByDomain(CountLinks).Run(repo.SchemeSNode); err == nil {
+		t.Fatal("plan without Pages accepted")
+	}
+	if _, err := NewPlan(r).Pages(Phrase("x")).Run(repo.SchemeSNode); err == nil {
+		t.Fatal("plan without GroupBy accepted")
+	}
+	if _, err := NewPlan(r).
+		Pages(Phrase("x")).
+		Out(AnyTarget()).
+		GroupByDomain(CountLinks).
+		Run("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestMissingDomainSelectsNothing(t *testing.T) {
+	r := getRepo(t)
+	rows, err := NewPlan(r).
+		Pages(InDomain("no-such.example")).
+		Out(AnyTarget()).
+		GroupByDomain(CountLinks).
+		Run(repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows from a missing domain: %v", rows)
+	}
+}

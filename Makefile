@@ -1,0 +1,28 @@
+# Standard development targets. `make check` is the tier-1 verify:
+# build + vet + plain tests + race-hardened tests.
+
+GO ?= go
+
+.PHONY: build vet test test-race check bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite (sharded cache, singleflight decode dedup,
+# parallel query engine, 32-goroutine stress) under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+check: build vet test test-race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

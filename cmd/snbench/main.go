@@ -8,6 +8,7 @@
 //	snbench -experiment fig11     # query navigation times
 //	snbench -experiment fig12     # buffer-size sweep
 //	snbench -experiment ablation  # §3 design-choice studies
+//	snbench -experiment concurrency  # serving throughput vs goroutines
 //
 // -quick runs a reduced scale for smoke testing.
 package main
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation")
+		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency")
 	quick := flag.Bool("quick", false, "reduced scale")
 	seed := flag.Uint64("seed", 0, "override corpus seed")
 	workspace := flag.String("workspace", "", "build directory (default: temp)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency experiment (0 = full modeled time)")
 	flag.Parse()
 
 	cfg := bench.Default()
@@ -121,6 +123,20 @@ func main() {
 			bench.RenderBufferSweep(cfg, rows)
 			if *csvDir != "" {
 				return bench.BufferSweepCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("concurrency") {
+		run("concurrency", func() error {
+			cfg.Pace = *pace
+			rows, err := bench.Concurrency(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderConcurrency(cfg, rows)
+			if *csvDir != "" {
+				return bench.ConcurrencyCSV(*csvDir, rows)
 			}
 			return nil
 		})

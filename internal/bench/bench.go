@@ -43,6 +43,10 @@ type Config struct {
 	QueryBudget int64
 	// Trials averages CPU time over repeated query runs (paper: 6).
 	Trials int
+	// Pace scales the concurrent-serving experiment's real-time disk
+	// stalls (iosim pacing): each read sleeps its modeled cost times
+	// Pace. <= 0 means full modeled time (1.0).
+	Pace float64
 	// Seed feeds the crawl generator.
 	Seed uint64
 	// Model is the simulated disk.

@@ -210,6 +210,38 @@ func TestDiskModelSweepSmoke(t *testing.T) {
 	}
 }
 
+func TestConcurrencySmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.Pace = 0.25 // keep the paced smoke run short
+	rows, err := Concurrency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(concurrencyLevels()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Goroutines != concurrencyLevels()[i] {
+			t.Fatalf("row %d: %d goroutines, want %d", i, r.Goroutines, concurrencyLevels()[i])
+		}
+		if r.QPS <= 0 || r.Queries != servingRounds*6 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// The acceptance criterion: concurrency buys real throughput over
+	// one shared representation. (Relaxed under the race detector, whose
+	// instrumentation serializes enough to flatten the overlap.)
+	if !raceEnabled && rows[1].Speedup <= 1.5 {
+		t.Errorf("4-goroutine speedup %.2fx, want > 1.5x over serial", rows[1].Speedup)
+	}
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderConcurrency(cfg, rows)
+	if !strings.Contains(sb.String(), "goroutines") {
+		t.Fatal("render output missing header")
+	}
+}
+
 func TestCrawlCacheReuse(t *testing.T) {
 	cfg := tiny()
 	a, err := cfg.Crawl(3000)

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/snode"
+	"snode/internal/store"
+)
+
+// The concurrent-serving experiment: the S-Node read path is safe for
+// concurrent use (sharded buffer manager, singleflight decodes), so a
+// query front end can serve request streams from many goroutines over
+// one shared representation. This experiment measures throughput
+// (queries/second) for a fixed mixed Query 1-6 workload at increasing
+// goroutine counts, with iosim pacing turned on so every stream really
+// waits out its modeled disk time — concurrency then buys back the
+// overlap, like queue depth on a real device.
+
+// ThroughputRow is one concurrency level of the serving experiment.
+type ThroughputRow struct {
+	Goroutines int
+	Queries    int
+	Elapsed    time.Duration
+	QPS        float64
+	// Speedup is this row's throughput over the 1-goroutine row.
+	Speedup float64
+	// Coalesced counts decodes deduplicated by the buffer manager's
+	// singleflight layer during this level.
+	Coalesced int64
+}
+
+// concurrencyLevels is the goroutine series the experiment reports.
+func concurrencyLevels() []int { return []int{1, 4, 16} }
+
+// servingRounds repeats the six-query mix per level, so each level
+// serves servingRounds*6 queries.
+const servingRounds = 4
+
+// Concurrency runs the serving-throughput experiment over an S-Node
+// repository built at cfg.QuerySize with cfg.QueryBudget of buffer.
+func Concurrency(cfg Config) ([]ThroughputRow, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	opt := repo.DefaultOptions(filepath.Join(ws, "servingrepo"))
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.CacheBudget = cfg.QueryBudget
+	opt.Model = cfg.Model
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	e, err := query.New(r, repo.SchemeSNode)
+	if err != nil {
+		return nil, err
+	}
+
+	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	for _, s := range stores {
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(pace)
+		}
+	}
+	defer func() {
+		for _, s := range stores {
+			if p, ok := s.(store.Pacer); ok {
+				p.SetPace(0)
+			}
+		}
+	}()
+
+	// The fixed workload: the six Table 3 queries, servingRounds times.
+	var jobs []query.ID
+	for i := 0; i < servingRounds; i++ {
+		jobs = append(jobs, query.All()...)
+	}
+
+	var rows []ThroughputRow
+	for _, g := range concurrencyLevels() {
+		// Cold start per level, same budget: every level pays the same
+		// disk traffic, so the rows differ only in overlap.
+		for _, s := range stores {
+			if cr, ok := s.(store.CacheResetter); ok {
+				cr.ResetCache(cfg.QueryBudget)
+			}
+		}
+		start := time.Now()
+		if _, err := e.RunParallel(jobs, g); err != nil {
+			return nil, fmt.Errorf("bench: concurrency level %d: %w", g, err)
+		}
+		elapsed := time.Since(start)
+		var coalesced int64
+		for _, s := range stores {
+			if sn, ok := s.(*snode.Representation); ok {
+				coalesced += sn.StatsExt().Cache.Coalesced
+			}
+		}
+		row := ThroughputRow{
+			Goroutines: g,
+			Queries:    len(jobs),
+			Elapsed:    elapsed,
+			QPS:        float64(len(jobs)) / elapsed.Seconds(),
+			Coalesced:  coalesced,
+		}
+		if len(rows) > 0 && rows[0].QPS > 0 {
+			row.Speedup = row.QPS / rows[0].QPS
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderConcurrency prints the throughput table.
+func RenderConcurrency(cfg Config, rows []ThroughputRow) {
+	w := cfg.out()
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	fmt.Fprintf(w, "Concurrent serving: S-Node queries/sec (%d pages, %d KB buffer, paced disk x%.2f)\n",
+		cfg.QuerySize, cfg.QueryBudget>>10, pace)
+	fmt.Fprintf(w, "%11s %8s %12s %10s %9s %10s\n",
+		"goroutines", "queries", "elapsed", "qps", "speedup", "coalesced")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%11d %8d %12v %10.1f %8.2fx %10d\n",
+			r.Goroutines, r.Queries, r.Elapsed.Round(time.Millisecond),
+			r.QPS, r.Speedup, r.Coalesced)
+	}
+	fmt.Fprintln(w, "(concurrent streams overlap their modeled disk waits over one shared cache)")
+	fmt.Fprintln(w)
+}

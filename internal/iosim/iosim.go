@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,10 +62,17 @@ func (s Stats) ModeledTime(m Model) time.Duration {
 type Accountant struct {
 	model Model
 
+	// debt accumulates paced stall time (nanoseconds) too small to
+	// sleep individually; whichever reader pushes it past paceMinSleep
+	// sleeps it off. Avoids thousands of sub-millisecond sleeps for
+	// byte-transfer costs while seeks stall their own caller.
+	debt atomic.Int64
+
 	mu      sync.Mutex
 	stats   Stats
 	lastEnd map[int]int64 // file id → end offset of last read
 	nextID  int
+	pace    float64 // >0: readers sleep modeled time × pace
 }
 
 // NewAccountant creates an accountant with the given disk model.
@@ -96,23 +104,77 @@ func (a *Accountant) ModeledTime() time.Duration {
 	return a.Stats().ModeledTime(a.model)
 }
 
-// record accounts one read of n bytes at off on the given file.
-func (a *Accountant) record(fileID int, off int64, n int) {
+// SetPace turns the model's cost into real time: while scale > 0,
+// every read stalls its calling goroutine for the read's modeled
+// duration times scale (1.0 = full modeled time, 0 disables). Each
+// goroutine waits out its own reads, so concurrent query streams
+// overlap their modeled disk stalls the way they would against a
+// queue-depth-rich device — the behaviour the concurrent-throughput
+// experiments measure. Pacing never changes the counters.
+func (a *Accountant) SetPace(scale float64) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.pace = scale
+	a.mu.Unlock()
+}
+
+// paceMinSleep batches paced stalls: charges below it accumulate in
+// debt rather than triggering their own sleep.
+const paceMinSleep = int64(time.Millisecond)
+
+// record accounts one read of n bytes at off on the given file and
+// returns the paced stall the caller owes (zero when pacing is off).
+func (a *Accountant) record(fileID int, off int64, n int) time.Duration {
+	a.mu.Lock()
 	a.stats.Reads++
 	a.stats.BytesRead += int64(n)
+	seeked := false
+	var skipped int64
 	end, ok := a.lastEnd[fileID]
 	switch {
 	case ok && end == off:
 		// Sequential continuation.
 	case ok && off > end && off-end <= a.model.SkipFree:
 		// Short forward skip: absorbed by readahead.
-		a.stats.SkippedBytes += off - end
+		skipped = off - end
+		a.stats.SkippedBytes += skipped
 	default:
 		a.stats.Seeks++
+		seeked = true
 	}
 	a.lastEnd[fileID] = off + int64(n)
+	var pause time.Duration
+	if a.pace > 0 {
+		d := time.Duration(0)
+		if seeked {
+			d += a.model.Seek
+		}
+		if a.model.BytesPerSecond > 0 {
+			d += time.Duration(float64(int64(n)+skipped) / a.model.BytesPerSecond * float64(time.Second))
+		}
+		pause = time.Duration(float64(d) * a.pace)
+	}
+	a.mu.Unlock()
+	return pause
+}
+
+// stall settles a paced charge: small charges pool in debt, and the
+// reader whose charge pushes the pool past paceMinSleep sleeps the
+// whole pool. Called without holding a.mu.
+func (a *Accountant) stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.debt.Add(int64(d))
+	for {
+		cur := a.debt.Load()
+		if cur < paceMinSleep {
+			return
+		}
+		if a.debt.CompareAndSwap(cur, 0) {
+			time.Sleep(time.Duration(cur))
+			return
+		}
+	}
 }
 
 // File wraps an *os.File with accounting. Writes are not modeled (the
@@ -136,11 +198,12 @@ func (a *Accountant) Open(path string) (*File, error) {
 	return &File{f: f, acc: a, id: id}, nil
 }
 
-// ReadAt reads len(p) bytes at offset off, recording the access.
+// ReadAt reads len(p) bytes at offset off, recording the access (and,
+// under SetPace, stalling the caller for its modeled cost).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	n, err := f.f.ReadAt(p, off)
 	if n > 0 {
-		f.acc.record(f.id, off, n)
+		f.acc.stall(f.acc.record(f.id, off, n))
 	}
 	return n, err
 }

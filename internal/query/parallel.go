@@ -1,0 +1,46 @@
+package query
+
+import (
+	"snode/internal/workpool"
+)
+
+// Shared returns a copy of the engine marked for concurrent use: its
+// queries may run alongside other engines (or goroutines) over the same
+// stores. Shared engines never reset the stores' access statistics and
+// report wall time only in NavStats — with concurrent streams the
+// accountant's bytes cannot be attributed to one query. The S-Node
+// representation is safe for this; the baseline schemes are not (see
+// store.LinkStore).
+func (e *Engine) Shared() *Engine {
+	c := *e
+	c.shared = true
+	return &c
+}
+
+// RunParallel executes the given queries across a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS) and returns results in input order.
+// Every execution uses a shared engine, so the underlying stores must
+// be safe for concurrent use. Rows are deterministic — each query sorts
+// its output — so results match a serial Run of the same queries; only
+// the NavStats differ (wall time only, see Shared).
+func (e *Engine) RunParallel(qs []ID, workers int) ([]*Result, error) {
+	sh := e.Shared()
+	out := make([]*Result, len(qs))
+	err := workpool.New(workers).ForEach(len(qs), func(i int) error {
+		r, err := sh.Run(qs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAllParallel executes the six Table 3 queries concurrently.
+func (e *Engine) RunAllParallel(workers int) ([]*Result, error) {
+	return e.RunParallel(All(), workers)
+}

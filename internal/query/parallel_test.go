@@ -1,0 +1,149 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snode/internal/repo"
+	"snode/internal/synth"
+)
+
+func rowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Value != b[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelEqualsSerialAcrossSeeds verifies the central equivalence
+// property of the parallel engine: for five different corpora, the rows
+// of RunAllParallel match a serial RunAll exactly. Each query sorts its
+// rows deterministically, so concurrency must not change a single
+// (Key, Value) pair.
+func TestParallelEqualsSerialAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 41, 99, 20030226} {
+		cfg := synth.DefaultConfig(2500)
+		cfg.Seed = seed
+		crawl, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := repo.DefaultOptions(t.TempDir())
+		opt.Schemes = []string{repo.SchemeSNode}
+		r, err := repo.Build(crawl.Corpus, opt)
+		if err != nil {
+			t.Fatalf("seed %d: repo.Build: %v", seed, err)
+		}
+		e, err := New(r, repo.SchemeSNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := e.RunAll()
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		par, err := e.RunAllParallel(4)
+		if err != nil {
+			t.Fatalf("seed %d: parallel: %v", seed, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("seed %d: %d parallel results, want %d", seed, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Query != serial[i].Query {
+				t.Fatalf("seed %d: result %d is Q%d, want Q%d",
+					seed, i, par[i].Query, serial[i].Query)
+			}
+			if !rowsEqual(par[i].Rows, serial[i].Rows) {
+				t.Fatalf("seed %d Q%d: parallel rows differ from serial\nserial: %v\nparallel: %v",
+					seed, serial[i].Query, serial[i].Rows, par[i].Rows)
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestConcurrentQueryStress runs a 32-goroutine mixed Query 1-6
+// workload against one shared S-Node engine for over two seconds,
+// checking every result against the serial baseline. Under -race this
+// is the serving path's end-to-end detector.
+func TestConcurrentQueryStress(t *testing.T) {
+	r := getRepo(t)
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ID][]Row{}
+	for _, res := range baseline {
+		want[res.Query] = res.Rows
+	}
+
+	sh := e.Shared()
+	const goroutines = 32
+	deadline := time.Now().Add(2200 * time.Millisecond)
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*31 + 7))
+			for time.Now().Before(deadline) {
+				q := All()[rng.Intn(6)]
+				res, err := sh.Run(q)
+				if err != nil {
+					t.Errorf("Q%d: %v", q, err)
+					return
+				}
+				if !rowsEqual(res.Rows, want[q]) {
+					t.Errorf("Q%d: concurrent rows differ from serial baseline", q)
+					return
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if ops.Load() < goroutines {
+		t.Fatalf("only %d queries completed across %d goroutines", ops.Load(), goroutines)
+	}
+	t.Logf("stress: %d queries served by %d goroutines", ops.Load(), goroutines)
+}
+
+// TestRunParallelPreservesOrder checks result slots line up with the
+// requested query order, including duplicates.
+func TestRunParallelPreservesOrder(t *testing.T) {
+	r := getRepo(t)
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []ID{Q6, Q1, Q6, Q2, Q1}
+	out, err := e.RunParallel(qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(out), len(qs))
+	}
+	for i, q := range qs {
+		if out[i] == nil || out[i].Query != q {
+			t.Fatalf("slot %d: want Q%d, got %+v", i, q, out[i])
+		}
+	}
+}

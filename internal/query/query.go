@@ -84,6 +84,13 @@ type Result struct {
 type Engine struct {
 	R      *repo.Repository
 	Scheme string
+
+	// shared marks an engine running alongside other engines on the
+	// same stores (the parallel serving path): navigation closures run
+	// without resetting the shared access statistics, and per-query
+	// NavStats carries wall time only, since concurrent streams cannot
+	// attribute the shared accountant's bytes to one query.
+	shared bool
 }
 
 // New returns an engine bound to a scheme built in the repository.
@@ -137,6 +144,14 @@ func (e *Engine) rev() store.LinkStore { return e.R.Rev[e.Scheme] }
 
 // nav times a navigation closure over the scheme's stores.
 func (e *Engine) nav(fn func() error) (NavStats, error) {
+	if e.shared {
+		// Shared stores: resetting stats would clobber concurrent
+		// streams, and the accountant's counters mix all of them, so a
+		// shared engine reports wall time only.
+		start := time.Now()
+		err := fn()
+		return NavStats{CPU: time.Since(start)}, err
+	}
 	fwd := e.fwd()
 	rev := e.rev()
 	fwd.ResetStats()

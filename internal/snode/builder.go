@@ -200,12 +200,16 @@ func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, 
 	}
 	m.Stats.URLSplits = p.URLSplits
 	m.Stats.ClusteredSplits = p.ClusteredSplits
-	m.Stats.BuildTime = time.Since(start)
 
+	// meta.bin is written with BuildTime zero so that two builds of the
+	// same corpus produce byte-identical artifacts (the determinism
+	// tests golden-hash every output file); wall time goes only into the
+	// returned stats.
 	if err := writeMeta(filepath.Join(dir, "meta.bin"), m); err != nil {
 		return nil, err
 	}
 	stats := m.Stats
+	stats.BuildTime = time.Since(start)
 	return &stats, nil
 }
 

@@ -1,6 +1,9 @@
 package snode
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // decodedGraph is any in-memory lower-level graph.
 type decodedGraph interface {
@@ -14,13 +17,39 @@ type decodedGraph interface {
 // superedge graphs are cached under a byte budget with LRU replacement.
 // The experiments vary the budget (Figure 12) and count loads per query
 // (the paper's instrumentation of Query 1).
+//
+// Thread-safety contract: the cache is safe for concurrent use by any
+// number of goroutines. It is split into cacheShards shards (by GraphID
+// hash), each guarded by its own mutex and carrying its own slice of
+// the byte budget, LRU list, and CacheStats; statsMerged sums the
+// per-shard counters so the Figure-12 instrumentation is unchanged.
+// Misses are deduplicated singleflight-style: the first goroutine to
+// claim an absent graph becomes its decode leader, and every other
+// goroutine that wants the same graph blocks on the leader's in-flight
+// decode instead of decoding a second copy — N concurrent requests for
+// one supernode trigger exactly one decode.
+//
+// All stats accounting, including the decoded-edge counter that the
+// Table 2 throughput metric reads, happens behind the shard locks;
+// there are no unsynchronized counters.
 type graphCache struct {
-	budget  int64
-	used    int64
-	lru     *list.List // front = most recent; values are *cacheEntry
-	byID    map[GraphID]*list.Element
-	stats   CacheStats
-	decoded int64 // edges decoded since last reset
+	shards [cacheShards]cacheShard
+}
+
+// cacheShards is the shard count (a power of two, sized so that a
+// GOMAXPROCS' worth of goroutines rarely collides on one lock).
+const cacheShards = 16
+
+// cacheShard is one lock domain of the buffer manager.
+type cacheShard struct {
+	mu       sync.Mutex
+	budget   int64 // this shard's slice of the total budget
+	used     int64
+	lru      *list.List // front = most recent; values are *cacheEntry
+	byID     map[GraphID]*list.Element
+	inflight map[GraphID]*inflightDecode
+	stats    CacheStats
+	decoded  int64 // edges decoded since last reset
 }
 
 type cacheEntry struct {
@@ -29,52 +58,222 @@ type cacheEntry struct {
 	size int64
 }
 
+// inflightDecode tracks one in-progress decode. g and err are written
+// by the leader before done is closed; waiters read them only after
+// <-done, so the channel close publishes them.
+type inflightDecode struct {
+	done chan struct{}
+	g    decodedGraph
+	err  error
+}
+
 func newGraphCache(budget int64) *graphCache {
-	return &graphCache{budget: budget, lru: list.New(), byID: map[GraphID]*list.Element{}}
+	c := &graphCache{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lru = list.New()
+		s.byID = map[GraphID]*list.Element{}
+		s.inflight = map[GraphID]*inflightDecode{}
+	}
+	c.setBudget(budget)
+	return c
 }
 
-// get returns the cached graph and marks it recently used.
+// shard maps a GraphID to its shard by multiplicative hash. Graph IDs
+// are dense and one supernode's graphs are consecutive, so mixing
+// spreads a single hot supernode's intranode and superedge graphs
+// across lock domains.
+func (c *graphCache) shard(id GraphID) *cacheShard {
+	h := uint32(id) * 0x9E3779B1
+	return &c.shards[h>>(32-4)] // top 4 bits → 16 shards
+}
+
+// setBudget divides the total budget across shards (floor division, so
+// the shard budgets never sum to more than the configured total).
+func (c *graphCache) setBudget(budget int64) {
+	per := budget / cacheShards
+	for i := range c.shards {
+		c.shards[i].budget = per
+	}
+}
+
+// get returns the cached graph and marks it recently used, counting a
+// hit or a miss: merged Hits+Misses equals the number of get calls.
 func (c *graphCache) get(id GraphID) (decodedGraph, bool) {
-	el, ok := c.byID[id]
-	if !ok {
-		return nil, false
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*cacheEntry).g, true
 	}
-	c.lru.MoveToFront(el)
-	c.stats.Hits++
-	return el.Value.(*cacheEntry).g, true
+	s.stats.Misses++
+	return nil, false
 }
 
-// put inserts a freshly decoded graph, evicting LRU entries to stay
-// within budget. Graphs larger than the budget are admitted alone (the
-// query could not run otherwise) and evicted on the next insert.
-func (c *graphCache) put(id GraphID, g decodedGraph, kind uint8) {
-	size := g.memSize()
-	c.stats.Loads++
-	c.decoded += g.edgeCount()
+// claim outcomes for tryClaim.
+const (
+	claimCached = iota // graph returned; nothing to do
+	claimLeader        // caller owns the decode and MUST call complete
+	claimBusy          // another goroutine is decoding; caller backs off
+)
+
+// claim resolves a graph that get reported missing: it returns the
+// graph if a concurrent decode finished meanwhile, blocks on an
+// in-flight decode if one exists (counting a Coalesced dedup), or makes
+// the caller the decode leader (leader=true), who MUST call complete
+// exactly once. claim itself never counts a hit or miss — the get that
+// preceded it already did.
+func (c *graphCache) claim(id GraphID) (g decodedGraph, err error, leader bool) {
+	s := c.shard(id)
+	s.mu.Lock()
+	if el, ok := s.byID[id]; ok {
+		s.lru.MoveToFront(el)
+		g := el.Value.(*cacheEntry).g
+		s.mu.Unlock()
+		return g, nil, false
+	}
+	if fl, ok := s.inflight[id]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.g, fl.err, false
+	}
+	fl := &inflightDecode{done: make(chan struct{})}
+	s.inflight[id] = fl
+	s.mu.Unlock()
+	return nil, nil, true
+}
+
+// tryClaim is claim without blocking: when another goroutine is already
+// decoding id it reports claimBusy instead of waiting. Used to extend
+// span reads over additional misses.
+func (c *graphCache) tryClaim(id GraphID) (decodedGraph, int) {
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).g, claimCached
+	}
+	if _, ok := s.inflight[id]; ok {
+		return nil, claimBusy
+	}
+	s.inflight[id] = &inflightDecode{done: make(chan struct{})}
+	return nil, claimLeader
+}
+
+// complete finishes a claimed decode: on success the graph is inserted
+// (evicting LRU entries to stay within the shard budget) and the load
+// counters — including the decoded-edge counter — are bumped under the
+// shard lock; either way, every goroutine blocked in claim is released
+// with the same result.
+func (c *graphCache) complete(id GraphID, g decodedGraph, kind uint8, err error) {
+	s := c.shard(id)
+	s.mu.Lock()
+	fl := s.inflight[id]
+	delete(s.inflight, id)
+	if err == nil {
+		s.insertLocked(id, g, kind)
+	}
+	s.mu.Unlock()
+	if fl != nil {
+		fl.g, fl.err = g, err
+		close(fl.done)
+	}
+}
+
+// insertLocked inserts a freshly decoded graph, evicting LRU entries to
+// stay within the shard budget. Graphs larger than the budget are
+// admitted alone (the query could not run otherwise) and evicted on the
+// next insert. Caller holds s.mu.
+func (s *cacheShard) insertLocked(id GraphID, g decodedGraph, kind uint8) {
+	s.stats.Loads++
+	s.decoded += g.edgeCount()
 	if kind == kindIntra {
-		c.stats.IntraLoads++
+		s.stats.IntraLoads++
 	} else {
-		c.stats.SuperLoads++
+		s.stats.SuperLoads++
 	}
-	for c.used+size > c.budget && c.lru.Len() > 0 {
-		back := c.lru.Back()
+	if el, ok := s.byID[id]; ok {
+		// Already resident (a racing insert slipped in, e.g. a reset
+		// interleaved with this decode's claim): keep the existing entry.
+		s.lru.MoveToFront(el)
+		return
+	}
+	size := g.memSize()
+	for s.used+size > s.budget && s.lru.Len() > 0 {
+		back := s.lru.Back()
 		e := back.Value.(*cacheEntry)
-		c.lru.Remove(back)
-		delete(c.byID, e.id)
-		c.used -= e.size
-		c.stats.Evictions++
+		s.lru.Remove(back)
+		delete(s.byID, e.id)
+		s.used -= e.size
+		s.stats.Evictions++
 	}
-	el := c.lru.PushFront(&cacheEntry{id: id, g: g, size: size})
-	c.byID[id] = el
-	c.used += size
+	el := s.lru.PushFront(&cacheEntry{id: id, g: g, size: size})
+	s.byID[id] = el
+	s.used += size
 }
 
-// reset empties the cache (used between buffer-size sweep points).
+// statsMerged sums the per-shard counters into one CacheStats (the
+// Figure 12 view).
+func (c *graphCache) statsMerged() CacheStats {
+	var out CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Loads += s.stats.Loads
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Coalesced += s.stats.Coalesced
+		out.Evictions += s.stats.Evictions
+		out.IntraLoads += s.stats.IntraLoads
+		out.SuperLoads += s.stats.SuperLoads
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// decodedEdges sums the per-shard decoded-edge counters.
+func (c *graphCache) decodedEdges() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.decoded
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// resetStats zeroes the counters, keeping contents (the warm-cache
+// repeated-trial methodology).
+func (c *graphCache) resetStats() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.stats = CacheStats{}
+		s.decoded = 0
+		s.mu.Unlock()
+	}
+}
+
+// reset empties the cache and re-divides a new budget (used between
+// buffer-size sweep points). In-flight decodes are retained: their
+// leaders will complete into the fresh state, and their waiters are
+// still released.
 func (c *graphCache) reset(budget int64) {
-	c.budget = budget
-	c.used = 0
-	c.lru.Init()
-	c.byID = map[GraphID]*list.Element{}
-	c.stats = CacheStats{}
-	c.decoded = 0
+	per := budget / cacheShards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.budget = per
+		s.used = 0
+		s.lru.Init()
+		s.byID = map[GraphID]*list.Element{}
+		s.stats = CacheStats{}
+		s.decoded = 0
+		s.mu.Unlock()
+	}
 }

@@ -1,0 +1,232 @@
+package snode
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubGraph is a fake decodedGraph for exercising the buffer manager in
+// isolation from the codecs.
+type stubGraph struct {
+	size  int64
+	edges int64
+}
+
+func (s *stubGraph) memSize() int64   { return s.size }
+func (s *stubGraph) edgeCount() int64 { return s.edges }
+
+// checkShardInvariants verifies, per shard: used equals the sum of
+// resident entry sizes; used stays within budget unless a single
+// oversized entry was admitted alone; and byID and the LRU list agree
+// exactly. Returns the total resident entries.
+func checkShardInvariants(t *testing.T, c *graphCache) int {
+	t.Helper()
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var sum int64
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			sum += e.size
+			if got, ok := s.byID[e.id]; !ok || got != el {
+				t.Errorf("shard %d: LRU entry %d missing/mismatched in byID", i, e.id)
+			}
+		}
+		if sum != s.used {
+			t.Errorf("shard %d: used=%d but entries sum to %d", i, s.used, sum)
+		}
+		if s.used > s.budget && s.lru.Len() > 1 {
+			t.Errorf("shard %d: used=%d exceeds budget=%d with %d entries",
+				i, s.used, s.budget, s.lru.Len())
+		}
+		if len(s.byID) != s.lru.Len() {
+			t.Errorf("shard %d: byID has %d entries, LRU has %d", i, len(s.byID), s.lru.Len())
+		}
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// TestCacheInvariantsUnderConcurrency drives the cache through the real
+// access protocol (get → claim → complete) from 16 goroutines with a
+// random mix of graph sizes, then checks the structural invariants and
+// the stats identity Hits+Misses == total lookups.
+func TestCacheInvariantsUnderConcurrency(t *testing.T) {
+	const (
+		budget     = 64 << 10
+		goroutines = 16
+		opsEach    = 3000
+		idSpace    = 300
+	)
+	c := newGraphCache(budget)
+	var gets atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for op := 0; op < opsEach; op++ {
+				id := GraphID(rng.Intn(idSpace))
+				gets.Add(1)
+				if _, ok := c.get(id); ok {
+					continue
+				}
+				g, err, leader := c.claim(id)
+				if !leader {
+					if err != nil {
+						t.Errorf("claim(%d): %v", id, err)
+					} else if g == nil {
+						t.Errorf("claim(%d): follower got nil graph without error", id)
+					}
+					continue
+				}
+				// Leader "decodes": deterministic per-ID size so re-decodes
+				// of one graph always agree.
+				sz := int64(64 + (int(id)*37)%2048)
+				kind := kindIntra
+				if id%3 == 0 {
+					kind = kindSuperPos
+				}
+				c.complete(id, &stubGraph{size: sz, edges: int64(id)}, kind, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	checkShardInvariants(t, c)
+	st := c.statsMerged()
+	if got := st.Hits + st.Misses; got != gets.Load() {
+		t.Fatalf("Hits+Misses = %d, want %d (one per lookup)", got, gets.Load())
+	}
+	if st.Loads > st.Misses {
+		t.Fatalf("Loads=%d exceeds Misses=%d: a load without a preceding miss", st.Loads, st.Misses)
+	}
+	if st.IntraLoads+st.SuperLoads != st.Loads {
+		t.Fatalf("IntraLoads+SuperLoads = %d, want Loads = %d",
+			st.IntraLoads+st.SuperLoads, st.Loads)
+	}
+}
+
+// TestCacheInvariantsWithConcurrentReset repeats the workload while
+// another goroutine repeatedly empties and re-budgets the cache; the
+// structural invariants must hold at every quiescent point and no
+// claimed decode may be orphaned.
+func TestCacheInvariantsWithConcurrentReset(t *testing.T) {
+	const goroutines = 8
+	c := newGraphCache(32 << 10)
+	stop := make(chan struct{})
+	var workers, resetter sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for op := 0; op < 4000; op++ {
+				id := GraphID(rng.Intn(150))
+				if _, ok := c.get(id); ok {
+					continue
+				}
+				_, err, leader := c.claim(id)
+				if err != nil {
+					t.Errorf("claim(%d): %v", id, err)
+					return
+				}
+				if leader {
+					c.complete(id, &stubGraph{size: 512, edges: 1}, kindIntra, nil)
+				}
+			}
+		}(w)
+	}
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		budgets := []int64{16 << 10, 32 << 10, 64 << 10}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.reset(budgets[i%len(budgets)])
+			}
+		}
+	}()
+	// If a reset orphaned an in-flight decode, a worker would hang in
+	// claim forever and this Wait would trip the test timeout.
+	workers.Wait()
+	close(stop)
+	resetter.Wait()
+	checkShardInvariants(t, c)
+}
+
+// TestCacheLRUOrder checks recency ordering and eviction order
+// serially: entries are evicted least-recently-used first, and a get
+// refreshes recency.
+func TestCacheLRUOrder(t *testing.T) {
+	// One shard in isolation: pick IDs that all hash to shard of id 0.
+	c := newGraphCache(int64(cacheShards) * 1000) // 1000 bytes per shard
+	target := c.shard(0)
+	var ids []GraphID
+	for id := GraphID(0); len(ids) < 4; id++ {
+		if c.shard(id) == target {
+			ids = append(ids, id)
+		}
+	}
+	put := func(id GraphID, size int64) {
+		if _, ok := c.get(id); ok {
+			t.Fatalf("id %d unexpectedly cached", id)
+		}
+		_, _, leader := c.claim(id)
+		if !leader {
+			t.Fatalf("id %d: expected leadership", id)
+		}
+		c.complete(id, &stubGraph{size: size, edges: 0}, kindIntra, nil)
+	}
+	// Fill with three 300-byte entries: A, B, C (C most recent).
+	put(ids[0], 300)
+	put(ids[1], 300)
+	put(ids[2], 300)
+	// Touch A: order becomes B (LRU), C, A (MRU).
+	if _, ok := c.get(ids[0]); !ok {
+		t.Fatal("A missing")
+	}
+	// Insert 300-byte D: B must be evicted, A and C retained.
+	put(ids[3], 300)
+	if _, ok := c.get(ids[1]); ok {
+		t.Fatal("B should have been evicted (least recently used)")
+	}
+	if _, ok := c.get(ids[0]); !ok {
+		t.Fatal("A evicted despite recent touch")
+	}
+	if _, ok := c.get(ids[2]); !ok {
+		t.Fatal("C evicted out of LRU order")
+	}
+	st := c.statsMerged()
+	if st.Evictions != 1 {
+		t.Fatalf("%d evictions, want 1", st.Evictions)
+	}
+}
+
+// TestCacheOversizedEntry checks that a graph larger than the shard
+// budget is admitted alone (queries must be able to run) and evicted by
+// the next insert.
+func TestCacheOversizedEntry(t *testing.T) {
+	c := newGraphCache(int64(cacheShards) * 100)
+	id := GraphID(5)
+	_, _, leader := c.claim(id)
+	if !leader {
+		t.Fatal("expected leadership on empty cache")
+	}
+	c.complete(id, &stubGraph{size: 10_000, edges: 0}, kindIntra, nil)
+	if _, ok := c.get(id); !ok {
+		t.Fatal("oversized graph not admitted")
+	}
+	checkShardInvariants(t, c)
+}

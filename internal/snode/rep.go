@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"snode/internal/iosim"
 	"snode/internal/store"
 	"snode/internal/webgraph"
+	"snode/internal/workpool"
 )
 
 // Representation is an opened, queryable S-Node representation. It
 // implements store.LinkStore. Out-of-line graphs are demand-loaded
 // through the buffer manager; the supernode graph and the indexes stay
 // in memory, like the paper's setup.
+//
+// A Representation is safe for concurrent use by any number of
+// goroutines; see the package documentation for the thread-safety
+// contract.
 type Representation struct {
 	dir   string
 	m     *meta
@@ -21,9 +27,26 @@ type Representation struct {
 	acc   *iosim.Accountant
 	files []*iosim.File
 
-	// domainOfSN[s] = index into m.Domains for supernode s.
+	// domainOfSN[s] = index into m.Domains for supernode s. Immutable
+	// after Open, like m.
 	domainOfSN []int32
-	readBuf    []byte
+}
+
+// Reader is the concurrency-safe read handle over an S-Node
+// representation (the name the serving layer uses; Open returns one).
+type Reader = Representation
+
+// readBufPool recycles per-call read buffers so concurrent queries do
+// not contend on a shared scratch buffer (the old single-threaded
+// design) or allocate a fresh span buffer per access.
+var readBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getReadBuf(n int) *[]byte {
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return bp
 }
 
 // Open loads the representation in dir, with the given buffer-manager
@@ -65,24 +88,24 @@ func (r *Representation) NumPages() int { return int(r.m.NumPages) }
 
 // Stats implements store.LinkStore (I/O plus graph loads).
 func (r *Representation) Stats() store.AccessStats {
-	return store.AccessStats{IO: r.acc.Stats(), GraphsLoaded: r.cache.stats.Loads}
+	return store.AccessStats{IO: r.acc.Stats(), GraphsLoaded: r.cache.statsMerged().Loads}
 }
 
-// StatsExt reports the extended S-Node statistics.
+// StatsExt reports the extended S-Node statistics (per-shard cache
+// counters merged on read).
 func (r *Representation) StatsExt() AccessStatsExt {
-	return AccessStatsExt{IO: r.acc.Stats(), Cache: r.cache.stats}
+	return AccessStatsExt{IO: r.acc.Stats(), Cache: r.cache.statsMerged()}
 }
 
 // DecodedEdges reports edges decoded since the last stats reset.
-func (r *Representation) DecodedEdges() int64 { return r.cache.decoded }
+func (r *Representation) DecodedEdges() int64 { return r.cache.decodedEdges() }
 
 // ResetStats implements store.LinkStore. The buffer manager's contents
 // are retained (a warm cache between queries, as in the paper's
 // repeated-trial methodology); counters are zeroed.
 func (r *Representation) ResetStats() {
 	r.acc.Reset()
-	r.cache.stats = CacheStats{}
-	r.cache.decoded = 0
+	r.cache.resetStats()
 }
 
 // ResetCache empties the buffer manager and sets a new budget (used by
@@ -92,13 +115,19 @@ func (r *Representation) ResetCache(budget int64) {
 	r.acc.Reset()
 }
 
+// SetPace implements store.Pacer: every subsequent read stalls its
+// calling goroutine for the read's modeled disk time times scale
+// (0 disables). The concurrent-serving experiments use this to let
+// goroutines overlap modeled I/O waits for real.
+func (r *Representation) SetPace(scale float64) { r.acc.SetPace(scale) }
+
 // BuildStats returns the stored build statistics.
 func (r *Representation) BuildStats() BuildStats { return r.m.Stats }
 
 // SizeBytes implements store.Sized (Table 1 accounting).
 func (r *Representation) SizeBytes() int64 { return r.m.Stats.SizeBytes() }
 
-// Close releases the index files.
+// Close releases the index files. It must not race in-flight queries.
 func (r *Representation) Close() error {
 	var first error
 	for _, f := range r.files {
@@ -135,47 +164,56 @@ func (r *Representation) DomainSupernodes(domain string) (lo, hi int32, ok bool)
 	return r.m.DomFirstSN[k], r.m.DomFirstSN[k+1], true
 }
 
-// load returns the decoded graph gid, from cache or disk.
+// load returns the decoded graph gid, from cache or disk. Concurrent
+// loads of the same graph coalesce onto one decode.
 func (r *Representation) load(gid GraphID) (decodedGraph, error) {
 	if g, ok := r.cache.get(gid); ok {
 		return g, nil
 	}
-	e := &r.m.Directory[gid]
-	if int(e.File) >= len(r.files) {
-		return nil, fmt.Errorf("snode: graph %d in missing file %d", gid, e.File)
+	g, err, leader := r.cache.claim(gid)
+	if !leader {
+		return g, err
 	}
-	if cap(r.readBuf) < int(e.NumBytes) {
-		r.readBuf = make([]byte, e.NumBytes)
-	}
-	buf := r.readBuf[:e.NumBytes]
-	if _, err := r.files[e.File].ReadAt(buf, e.Offset); err != nil {
-		return nil, fmt.Errorf("snode: read graph %d: %w", gid, err)
-	}
-	return r.decodeAndCache(gid, buf)
+	return r.readDecodeComplete(gid)
 }
 
-func (r *Representation) decodeAndCache(gid GraphID, buf []byte) (decodedGraph, error) {
+// readDecodeComplete performs the leader's half of a claimed decode:
+// read the graph's bytes, decode, and complete the flight (releasing
+// any coalesced waiters) whether or not anything failed.
+func (r *Representation) readDecodeComplete(gid GraphID) (decodedGraph, error) {
 	e := &r.m.Directory[gid]
-	var g decodedGraph
-	var err error
+	g, err := func() (decodedGraph, error) {
+		if int(e.File) >= len(r.files) {
+			return nil, fmt.Errorf("snode: graph %d in missing file %d", gid, e.File)
+		}
+		bp := getReadBuf(int(e.NumBytes))
+		defer readBufPool.Put(bp)
+		buf := (*bp)[:e.NumBytes]
+		if _, err := r.files[e.File].ReadAt(buf, e.Offset); err != nil {
+			return nil, fmt.Errorf("snode: read graph %d: %w", gid, err)
+		}
+		return r.decode(gid, buf)
+	}()
+	r.cache.complete(gid, g, e.Kind, err)
+	return g, err
+}
+
+// decode parses one graph's encoded bytes into its in-memory form.
+func (r *Representation) decode(gid GraphID, buf []byte) (decodedGraph, error) {
+	e := &r.m.Directory[gid]
 	switch e.Kind {
 	case kindIntra:
-		g, err = decodeIntra(buf, int(e.NumLists))
+		return decodeIntra(buf, int(e.NumLists))
 	case kindSuperPos:
 		niSize := r.m.SnBase[e.I+1] - r.m.SnBase[e.I]
 		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
-		g, err = decodeSuperPos(buf, int(e.NumLists), niSize, njSize)
+		return decodeSuperPos(buf, int(e.NumLists), niSize, njSize)
 	case kindSuperNeg:
 		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
-		g, err = decodeSuperNeg(buf, int(e.NumLists), njSize)
+		return decodeSuperNeg(buf, int(e.NumLists), njSize)
 	default:
-		err = fmt.Errorf("snode: graph %d has unknown kind %d", gid, e.Kind)
+		return nil, fmt.Errorf("snode: graph %d has unknown kind %d", gid, e.Kind)
 	}
-	if err != nil {
-		return nil, err
-	}
-	r.cache.put(gid, g, e.Kind)
-	return g, nil
 }
 
 // Out implements store.LinkStore: the full adjacency of external page
@@ -291,40 +329,106 @@ func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []w
 			miss = append(miss, ne)
 		}
 	}
-	// Pass 2: span-read the misses, emitting as each graph decodes.
+	// Pass 2: resolve the misses. Each miss is claimed singleflight-
+	// style: if another goroutine already decoded (or is decoding) the
+	// graph, its result is reused; when this call leads a decode, the
+	// span is extended over subsequent misses it can also lead, so the
+	// §3.3 contiguous layout still collapses into few sequential reads.
 	for k := 0; k < len(miss) && firstErr == nil; {
+		g, err, leader := r.cache.claim(miss[k].gid)
+		if !leader {
+			if err != nil {
+				return buf, err
+			}
+			process(miss[k].gid, miss[k].j, g)
+			k++
+			continue
+		}
 		first := &r.m.Directory[miss[k].gid]
-		end := k + 1
 		spanEnd := first.Offset + int64(first.NumBytes)
+		claimed := miss[k : k+1 : k+1]
 		const maxGap = 64 << 10
+		end := k + 1
 		for end < len(miss) {
 			e := &r.m.Directory[miss[end].gid]
 			if e.File != first.File || e.Offset-spanEnd > maxGap {
 				break
 			}
+			g2, state := r.cache.tryClaim(miss[end].gid)
+			if state == claimBusy {
+				// Another goroutine owns this decode; stop extending and
+				// wait for it on a later iteration rather than here,
+				// while we still have our own claims to serve.
+				break
+			}
+			if state == claimCached {
+				// Decoded by someone else since pass 1: emit without
+				// reading; its bytes become part of the gap allowance.
+				process(miss[end].gid, miss[end].j, g2)
+				end++
+				continue
+			}
 			spanEnd = e.Offset + int64(e.NumBytes)
+			claimed = append(claimed, miss[end])
 			end++
 		}
 		n := int(spanEnd - first.Offset)
-		if cap(r.readBuf) < n {
-			r.readBuf = make([]byte, n)
-		}
-		rb := r.readBuf[:n]
+		bp := getReadBuf(n)
+		rb := (*bp)[:n]
 		if _, err := r.files[first.File].ReadAt(rb, first.Offset); err != nil {
-			return buf, fmt.Errorf("snode: span read: %w", err)
+			readErr := fmt.Errorf("snode: span read: %w", err)
+			for _, ne := range claimed {
+				r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, readErr)
+			}
+			readBufPool.Put(bp)
+			return buf, readErr
 		}
-		for _, ne := range miss[k:end] {
+		// Decode and complete every claimed graph — even after an error,
+		// so no waiter is left blocked on an abandoned flight.
+		var decodeErr error
+		for _, ne := range claimed {
 			e := &r.m.Directory[ne.gid]
 			off := e.Offset - first.Offset
-			g, err := r.decodeAndCache(ne.gid, rb[off:off+int64(e.NumBytes)])
-			if err != nil {
-				return buf, err
+			g, err := r.decode(ne.gid, rb[off:off+int64(e.NumBytes)])
+			r.cache.complete(ne.gid, g, e.Kind, err)
+			if err != nil && decodeErr == nil {
+				decodeErr = err
 			}
-			process(ne.gid, ne.j, g)
+			if err == nil && decodeErr == nil {
+				process(ne.gid, ne.j, g)
+			}
+		}
+		readBufPool.Put(bp)
+		if decodeErr != nil {
+			return buf, decodeErr
 		}
 		k = end
 	}
 	return buf, firstErr
+}
+
+// ParallelNeighbors resolves the adjacency of every page in ps
+// concurrently over a bounded worker pool (workers <= 0 uses
+// GOMAXPROCS) and returns the per-page lists in input order. Concurrent
+// lookups share the buffer manager: pages of one supernode coalesce
+// onto a single decode of its graphs.
+func (r *Representation) ParallelNeighbors(ps []webgraph.PageID, workers int) ([][]webgraph.PageID, error) {
+	return r.ParallelNeighborsFiltered(ps, nil, workers)
+}
+
+// ParallelNeighborsFiltered is ParallelNeighbors with a store.Filter
+// applied to every lookup (the batched form of OutFiltered).
+func (r *Representation) ParallelNeighborsFiltered(ps []webgraph.PageID, f *store.Filter, workers int) ([][]webgraph.PageID, error) {
+	out := make([][]webgraph.PageID, len(ps))
+	err := workpool.New(workers).ForEach(len(ps), func(i int) error {
+		var err error
+		out[i], err = r.OutFiltered(ps[i], f, nil)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // DecodeAll materializes the entire graph in memory as a CSR webgraph

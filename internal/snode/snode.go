@@ -22,6 +22,22 @@
 // range (supernodes ordered by (domain, first URL), pages within an
 // element by URL), enabling the compact PageID index; a domain index
 // maps each registered domain to its supernode range (§3.3, Figure 7).
+//
+// # Thread safety
+//
+// An opened Representation (alias Reader) is safe for concurrent use:
+// any number of goroutines may call Out, OutFiltered,
+// ParallelNeighbors, Verify, DomainSupernodes, and the stats accessors
+// simultaneously. The buffer manager is sharded by GraphID hash with a
+// mutex, budget slice, and stat counters per shard, and deduplicates
+// concurrent decodes of the same graph singleflight-style, so N
+// goroutines requesting one supernode trigger exactly one decode. All
+// counters — including the decoded-edge counter behind the Table 2
+// throughput metric — are updated under the shard locks. ResetStats and
+// ResetCache may also be called concurrently with queries; a reset
+// does not abandon in-flight decodes (their waiters are still
+// released), but callers that want exact cold-cache accounting should
+// quiesce queries first, as the paper's sweep protocol does.
 package snode
 
 import (
@@ -131,7 +147,9 @@ type BuildStats struct {
 	// Partition statistics, carried through for reporting.
 	URLSplits       int
 	ClusteredSplits int
-	BuildTime       time.Duration
+	// BuildTime is reported by Build but serialized as zero, keeping
+	// meta.bin byte-identical across builds of the same corpus.
+	BuildTime time.Duration
 }
 
 // SizeBytes is the Table 1 accounting: index files plus the in-memory
@@ -145,10 +163,17 @@ func (s BuildStats) SizeBytes() int64 {
 }
 
 // CacheStats reports buffer-manager behaviour (used by Figure 12 and
-// the §4.3 instrumentation that counts graphs loaded per query).
+// the §4.3 instrumentation that counts graphs loaded per query). Under
+// the sharded buffer manager the counters are kept per shard and merged
+// on read; Hits+Misses equals the total number of cache lookups, and
+// Loads counts actual decodes (Misses - Loads requests were either
+// coalesced onto another goroutine's in-flight decode, counted in
+// Coalesced, or found the graph decoded by the time they claimed it).
 type CacheStats struct {
 	Loads      int64
 	Hits       int64
+	Misses     int64
+	Coalesced  int64 // misses that waited on an in-flight decode instead of decoding
 	Evictions  int64
 	IntraLoads int64
 	SuperLoads int64

@@ -1,6 +1,8 @@
 package snode
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -519,67 +521,55 @@ func TestVerifyDetectsEdgeCountMismatch(t *testing.T) {
 	}
 }
 
-func TestBuildDeterministic(t *testing.T) {
-	// Two builds of the same corpus and config must produce
-	// byte-identical artifacts — in particular, the parallel encode
-	// stage must not leak scheduling order into the layout.
-	crawl, err := synth.Generate(synth.DefaultConfig(3000))
+// dirHashes returns the sha256 of every artifact in a build directory.
+func dirHashes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirA, dirB := t.TempDir(), t.TempDir()
-	if _, err := Build(crawl.Corpus, DefaultConfig(), dirA); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Build(crawl.Corpus, DefaultConfig(), dirB); err != nil {
-		t.Fatal(err)
-	}
-	entriesA, err := os.ReadDir(dirA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entriesA {
-		a, err := os.ReadFile(filepath.Join(dirA, e.Name()))
+	out := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := os.ReadFile(filepath.Join(dirB, e.Name()))
+		out[e.Name()] = fmt.Sprintf("%x", sha256.Sum256(data))
+	}
+	return out
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	// Two builds of the same corpus and config must produce
+	// byte-identical artifacts — every index and graph file AND
+	// meta.bin (BuildTime is serialized as zero precisely so the whole
+	// directory is a pure function of corpus + config). The parallel
+	// encode stage must not leak scheduling order into the layout.
+	for _, seed := range []uint64{1, 7} {
+		cfg := synth.DefaultConfig(3000)
+		cfg.Seed = seed
+		crawl, err := synth.Generate(cfg)
 		if err != nil {
-			t.Fatalf("%s missing from second build: %v", e.Name(), err)
+			t.Fatal(err)
 		}
-		if e.Name() == "meta.bin" {
-			// meta.bin embeds BuildTime; compare the re-read structure
-			// field-by-field instead of bytes.
-			ma, err := readMeta(filepath.Join(dirA, e.Name()))
-			if err != nil {
-				t.Fatal(err)
-			}
-			mb, err := readMeta(filepath.Join(dirB, e.Name()))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if ma.NumPages != mb.NumPages || ma.NumEdges != mb.NumEdges ||
-				len(ma.Directory) != len(mb.Directory) {
-				t.Fatal("meta structure differs between builds")
-			}
-			for i := range ma.Directory {
-				if ma.Directory[i] != mb.Directory[i] {
-					t.Fatalf("directory entry %d differs between builds", i)
-				}
-			}
-			for i := range ma.Perm {
-				if ma.Perm[i] != mb.Perm[i] {
-					t.Fatalf("permutation differs at %d", i)
-				}
-			}
-			continue
+		dirA, dirB := t.TempDir(), t.TempDir()
+		if _, err := Build(crawl.Corpus, DefaultConfig(), dirA); err != nil {
+			t.Fatal(err)
 		}
-		if len(a) != len(b) {
-			t.Fatalf("%s: %d vs %d bytes", e.Name(), len(a), len(b))
+		if _, err := Build(crawl.Corpus, DefaultConfig(), dirB); err != nil {
+			t.Fatal(err)
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("%s differs at byte %d", e.Name(), i)
+		ha, hb := dirHashes(t, dirA), dirHashes(t, dirB)
+		if len(ha) != len(hb) {
+			t.Fatalf("seed %d: builds produced %d vs %d files", seed, len(ha), len(hb))
+		}
+		for name, h := range ha {
+			if hb[name] == "" {
+				t.Fatalf("seed %d: %s missing from second build", seed, name)
+			}
+			if hb[name] != h {
+				t.Fatalf("seed %d: %s differs between builds (sha256 %s vs %s)",
+					seed, name, h, hb[name])
 			}
 		}
 	}

@@ -54,9 +54,11 @@ func (s AccessStats) ModeledTime(m iosim.Model) time.Duration {
 	return s.IO.ModeledTime(m)
 }
 
-// LinkStore is a queryable graph representation. Implementations are
-// not required to be safe for concurrent use; the query engine is
-// sequential, as were the paper's hand-crafted plans.
+// LinkStore is a queryable graph representation. Thread safety is per
+// implementation: the S-Node representation is safe for concurrent use
+// (its buffer manager is sharded and deduplicates concurrent decodes),
+// and the parallel query engine requires that; the four baseline
+// schemes remain single-threaded, like the paper's hand-crafted plans.
 type LinkStore interface {
 	// Name identifies the scheme ("snode", "link3", ...).
 	Name() string
@@ -81,6 +83,14 @@ type LinkStore interface {
 // starts generally).
 type CacheResetter interface {
 	ResetCache(budget int64)
+}
+
+// Pacer is implemented by stores that can replay their modeled disk
+// cost as real per-read stalls (iosim pacing). The concurrent-serving
+// experiments enable it so goroutines genuinely overlap modeled I/O
+// waits; scale 0 disables.
+type Pacer interface {
+	SetPace(scale float64)
 }
 
 // Sized is implemented by stores that can report their total on-disk /

@@ -1,0 +1,56 @@
+package webgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelBFSMatchesSerial: the level-parallel BFS must produce the
+// exact distance vector of the serial one — CAS claiming makes the
+// result scheduling-independent.
+func TestParallelBFSMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(2000)
+		g := randomGraph(rng, n, n*4)
+		sources := []PageID{PageID(rng.Intn(n))}
+		if trial%2 == 1 { // multi-source
+			sources = append(sources, PageID(rng.Intn(n)), PageID(rng.Intn(n)))
+		}
+		want := BFS(g, sources)
+		for _, workers := range []int{1, 2, 8} {
+			got := ParallelBFS(g, sources, workers)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers %d: %d distances, want %d",
+					trial, workers, len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d workers %d: dist[%d] = %d, want %d",
+						trial, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBFSEmptyAndUnreachable covers the degenerate cases: no
+// sources, and vertices unreachable from the sources.
+func TestParallelBFSEmptyAndUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	dist := ParallelBFS(g, nil, 4)
+	for v, d := range dist {
+		if d != -1 {
+			t.Fatalf("no sources: dist[%d] = %d, want -1", v, d)
+		}
+	}
+	dist = ParallelBFS(g, []PageID{0}, 4)
+	want := []int32{0, 1, -1, -1}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}

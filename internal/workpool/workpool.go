@@ -1,0 +1,94 @@
+// Package workpool provides the bounded worker pool behind every
+// concurrent execution path in this repository: the query engine's
+// parallel query serving, the S-Node batched neighbor lookups, and the
+// parallel BFS frontier expansion. One shared primitive keeps the
+// concurrency discipline uniform — a fixed number of goroutines pull
+// indices from an atomic counter (work stealing, so uneven item costs
+// balance), and the first error stops the dispatch of further work.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded degree of parallelism. The zero value is not
+// usable; construct with New. A Pool carries no goroutines of its own —
+// each ForEach spins up at most Workers() goroutines for its duration —
+// so it is cheap to create and safe to share.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width; workers <= 0 selects
+// runtime.GOMAXPROCS(0), the configurable default the serving layer
+// uses.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for every i in [0, n), distributing the calls
+// over the pool's workers. Items are claimed from a shared counter, so
+// a slow item does not idle the other workers. The first non-nil error
+// stops further dispatch (in-progress items finish) and is returned.
+// With one worker (or n <= 1) the calls run inline, in order.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		first   error
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Run executes the given tasks over the pool and returns the first
+// error.
+func (p *Pool) Run(tasks ...func() error) error {
+	return p.ForEach(len(tasks), func(i int) error { return tasks[i]() })
+}

@@ -1,0 +1,83 @@
+package workpool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 32} {
+		const n = 1000
+		seen := make([]atomic.Int32, n)
+		err := New(workers).ForEach(n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := New(4).ForEach(100000, func(i int) error {
+		calls.Add(1)
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
+	}
+	if n := calls.Load(); n == 100000 {
+		t.Fatal("error did not stop dispatch")
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	err := New(1).ForEach(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order %v not sequential", order)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("default width under 1")
+	}
+	if err := New(3).ForEach(0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(2).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun(t *testing.T) {
+	var a, b atomic.Bool
+	err := New(2).Run(
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Run: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+}

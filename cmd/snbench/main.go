@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"snode/internal/bench"
+	"snode/internal/metrics"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	workspace := flag.String("workspace", "", "build directory (default: temp)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency experiment (0 = full modeled time)")
+	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	flag.Parse()
 
 	cfg := bench.Default()
@@ -40,6 +42,9 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workspace = *workspace
+	if *metricsOut != "" {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 
 	run := func(name string, fn func() error) {
 		start := time.Now()
@@ -163,5 +168,24 @@ func main() {
 			}
 			return nil
 		})
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		snap := cfg.Metrics.Snapshot()
+		if err := snap.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }

@@ -3,18 +3,33 @@
 // fixed mixed Query 1-6 workload from increasing numbers of goroutines
 // against the one shared representation, reporting queries/second per
 // level together with the buffer manager's counters (hits, misses,
-// loads, and singleflight-coalesced decodes).
+// loads, and singleflight-coalesced decodes) read as deltas from the
+// metrics registry.
 //
 //	snserve -pages 50000 -goroutines 1,4,16 -rounds 4 -pace 1.0
 //
 // With -pace > 0, every disk read stalls its calling goroutine for the
 // read's modeled 2002-disk cost times the scale, so the throughput
 // curve shows real I/O overlap rather than CPU-only parallelism.
+//
+// With -listen, snserve exposes the serving path's observability
+// surface over HTTP while the levels run:
+//
+//	/metrics      text exposition: per-query latency histograms with
+//	              p50/p95/p99, cache hit/miss/load/coalesce/eviction
+//	              counters, decoded-bytes gauges, iosim seek/transfer/
+//	              stall accounting, worker occupancy
+//	/debug/vars   the same snapshot as expvar JSON
+//	/debug/pprof  the standard net/http/pprof profiles
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,6 +37,7 @@ import (
 	"time"
 
 	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/query"
 	"snode/internal/repo"
 	"snode/internal/snode"
@@ -41,28 +57,99 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
+// options are the validated serving parameters.
+type options struct {
+	pages     int
+	levels    []int
+	rounds    int
+	budget    int64
+	pace      float64
+	seed      uint64
+	workspace string
+	listen    string
+}
+
+// validate rejects flag combinations that would previously slip
+// through and fail obscurely downstream (a zero-query workload divides
+// through a zero base QPS; a non-positive budget floors every cache
+// shard; a negative pace is meaningless).
+func validate(o *options) error {
+	if o.pages < 1 {
+		return fmt.Errorf("-pages must be >= 1 (got %d)", o.pages)
+	}
+	if o.rounds < 1 {
+		return fmt.Errorf("-rounds must be >= 1 (got %d): a level must serve at least one six-query mix", o.rounds)
+	}
+	if o.budget <= 0 {
+		return fmt.Errorf("-budget must be positive bytes (got %d)", o.budget)
+	}
+	if o.pace < 0 {
+		return fmt.Errorf("-pace must be >= 0 (got %g)", o.pace)
+	}
+	return nil
+}
+
 func main() {
-	pages := flag.Int("pages", 50000, "corpus size in pages")
+	o := &options{}
+	flag.IntVar(&o.pages, "pages", 50000, "corpus size in pages")
 	levels := flag.String("goroutines", "1,4,16", "comma-separated goroutine counts")
-	rounds := flag.Int("rounds", 4, "repetitions of the six-query mix per level")
-	budget := flag.Int64("budget", 1<<20, "buffer-manager budget in bytes")
-	pace := flag.Float64("pace", 1.0, "disk-stall scale (0 disables pacing)")
-	seed := flag.Uint64("seed", 20030226, "crawl generator seed")
-	workspace := flag.String("workspace", "", "build directory (default: temp)")
+	flag.IntVar(&o.rounds, "rounds", 4, "repetitions of the six-query mix per level")
+	flag.Int64Var(&o.budget, "budget", 1<<20, "buffer-manager budget in bytes")
+	flag.Float64Var(&o.pace, "pace", 1.0, "disk-stall scale (0 disables pacing)")
+	flag.Uint64Var(&o.seed, "seed", 20030226, "crawl generator seed")
+	flag.StringVar(&o.workspace, "workspace", "", "build directory (default: temp)")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :8080; empty disables)")
 	flag.Parse()
 
-	if err := serve(*pages, *levels, *rounds, *budget, *pace, *seed, *workspace); err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "snserve: %v\n", err)
 		os.Exit(1)
 	}
+	var err error
+	if o.levels, err = parseLevels(*levels); err != nil {
+		fail(err)
+	}
+	if err := validate(o); err != nil {
+		fail(err)
+	}
+	if err := serve(o); err != nil {
+		fail(err)
+	}
 }
 
-func serve(pages int, levelSpec string, rounds int, budget int64, pace float64, seed uint64, workspace string) error {
-	levels, err := parseLevels(levelSpec)
+// startHTTP binds the observability endpoint and serves it in the
+// background, returning the bound address (resolving :0).
+func startHTTP(addr string, reg *metrics.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return "", fmt.Errorf("-listen %s: %w", addr, err)
 	}
-	ws := workspace
+	expvar.Publish("snode", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// cacheDelta sums a cache counter's per-level movement over the fwd and
+// rev representations from two registry snapshots.
+func cacheDelta(prev, cur metrics.Snapshot, counter string) int64 {
+	var d int64
+	for _, prefix := range []string{"snode_fwd_", "snode_rev_"} {
+		name := prefix + counter
+		d += cur.Counters[name] - prev.Counters[name]
+	}
+	return d
+}
+
+func serve(o *options) error {
+	ws := o.workspace
 	if ws == "" {
 		dir, err := os.MkdirTemp("", "snserve-*")
 		if err != nil {
@@ -72,9 +159,9 @@ func serve(pages int, levelSpec string, rounds int, budget int64, pace float64, 
 		ws = dir
 	}
 
-	cfg := synth.DefaultConfig(pages)
-	cfg.Seed = seed
-	fmt.Printf("generating %d-page crawl (seed %d)...\n", pages, seed)
+	cfg := synth.DefaultConfig(o.pages)
+	cfg.Seed = o.seed
+	fmt.Printf("generating %d-page crawl (seed %d)...\n", o.pages, o.seed)
 	crawl, err := synth.Generate(cfg)
 	if err != nil {
 		return err
@@ -82,7 +169,7 @@ func serve(pages int, levelSpec string, rounds int, budget int64, pace float64, 
 	fmt.Println("building S-Node repository...")
 	opt := repo.DefaultOptions(filepath.Join(ws, "repo"))
 	opt.Schemes = []string{repo.SchemeSNode}
-	opt.CacheBudget = budget
+	opt.CacheBudget = o.budget
 	opt.Model = iosim.Model2002()
 	r, err := repo.Build(crawl.Corpus, opt)
 	if err != nil {
@@ -94,51 +181,85 @@ func serve(pages int, levelSpec string, rounds int, budget int64, pace float64, 
 		return err
 	}
 
+	// Wire the whole serving path into one registry: per-query latency
+	// histograms and stage timings (engine), cache and I/O counters per
+	// direction (representations), worker occupancy (pool).
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
 	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
-	for _, s := range stores {
-		if p, ok := s.(store.Pacer); ok {
-			p.SetPace(pace)
+	prefixes := []string{"snode_fwd", "snode_rev"}
+	for i, s := range stores {
+		if sn, ok := s.(*snode.Representation); ok {
+			sn.RegisterMetrics(reg, prefixes[i])
 		}
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(o.pace)
+		}
+	}
+	if o.listen != "" {
+		addr, err := startHTTP(o.listen, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	var jobs []query.ID
-	for i := 0; i < rounds; i++ {
+	for i := 0; i < o.rounds; i++ {
 		jobs = append(jobs, query.All()...)
 	}
 
 	fmt.Printf("\nserving %d queries per level (%d KB buffer, pace x%.2f)\n",
-		len(jobs), budget>>10, pace)
+		len(jobs), o.budget>>10, o.pace)
 	fmt.Printf("%11s %12s %10s %9s | %9s %9s %7s %10s\n",
 		"goroutines", "elapsed", "qps", "speedup", "hits", "misses", "loads", "coalesced")
 	var baseQPS float64
-	for _, g := range levels {
+	for _, g := range o.levels {
 		for _, s := range stores {
 			if cr, ok := s.(store.CacheResetter); ok {
-				cr.ResetCache(budget)
+				cr.ResetCache(o.budget)
 			}
 		}
+		prev := reg.Snapshot()
 		start := time.Now()
 		if _, err := e.RunParallel(jobs, g); err != nil {
 			return fmt.Errorf("level %d: %w", g, err)
 		}
 		elapsed := time.Since(start)
 		qps := float64(len(jobs)) / elapsed.Seconds()
+		speedup := 1.0
 		if baseQPS == 0 {
 			baseQPS = qps
+		} else if baseQPS > 0 {
+			speedup = qps / baseQPS
 		}
-		var cs snode.CacheStats
-		for _, s := range stores {
-			if sn, ok := s.(*snode.Representation); ok {
-				c := sn.StatsExt().Cache
-				cs.Hits += c.Hits
-				cs.Misses += c.Misses
-				cs.Loads += c.Loads
-				cs.Coalesced += c.Coalesced
-			}
-		}
+		cur := reg.Snapshot()
 		fmt.Printf("%11d %12v %10.1f %8.2fx | %9d %9d %7d %10d\n",
-			g, elapsed.Round(time.Millisecond), qps, qps/baseQPS,
-			cs.Hits, cs.Misses, cs.Loads, cs.Coalesced)
+			g, elapsed.Round(time.Millisecond), qps, speedup,
+			cacheDelta(prev, cur, "cache_hits"),
+			cacheDelta(prev, cur, "cache_misses"),
+			cacheDelta(prev, cur, "cache_loads"),
+			cacheDelta(prev, cur, "cache_coalesced"))
+	}
+
+	// Latency summary across all levels, from the per-query histograms.
+	snap := reg.Snapshot()
+	fmt.Printf("\nper-query latency across all levels (wall time per execution)\n")
+	fmt.Printf("%6s %8s %10s %10s %10s\n", "query", "count", "p50", "p95", "p99")
+	for _, q := range query.All() {
+		h, ok := snap.Histograms[fmt.Sprintf("query_latency_q%d", q)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%6s %8d %10v %10v %10v\n",
+			fmt.Sprintf("Q%d", q), h.Count,
+			time.Duration(h.P50()).Round(10*time.Microsecond),
+			time.Duration(h.P95()).Round(10*time.Microsecond),
+			time.Duration(h.P99()).Round(10*time.Microsecond))
+	}
+	if o.listen != "" {
+		fmt.Println("\nserving complete; metrics endpoint stays up until interrupted (ctrl-C to exit)")
+		select {}
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/synth"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	Workspace string
 	// Out receives rendered tables (default os.Stdout).
 	Out io.Writer
+	// Metrics, when non-nil, receives the serving-path instrumentation
+	// from the experiments that exercise it (currently Concurrency):
+	// per-query latency histograms, cache and iosim counters per
+	// direction, worker occupancy. cmd/snbench -metrics-out dumps the
+	// registry to JSON after the run.
+	Metrics *metrics.Registry
 }
 
 // Default returns the full-scale configuration (what cmd/snbench runs).

@@ -68,6 +68,14 @@ func Concurrency(cfg Config) ([]ThroughputRow, error) {
 	}
 
 	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
+	if cfg.Metrics != nil {
+		e.SetMetrics(cfg.Metrics)
+		for i, prefix := range []string{"snode_fwd", "snode_rev"} {
+			if sn, ok := stores[i].(*snode.Representation); ok {
+				sn.RegisterMetrics(cfg.Metrics, prefix)
+			}
+		}
+	}
 	pace := cfg.Pace
 	if pace <= 0 {
 		pace = 1.0

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"snode/internal/metrics"
 )
 
 // Model describes the simulated disk.
@@ -46,6 +48,14 @@ type Stats struct {
 	// transfer time but no seek.
 	SkippedBytes int64
 	Reads        int64
+	// Stalls and StallNanos account the pacing layer: how many times a
+	// reader slept off the pooled paced debt, and the total modeled time
+	// actually slept. Zero when pacing is off. They do not feed
+	// ModeledTime (which is computed from the access counters); they
+	// exist so the serving metrics can show how much real wall time the
+	// paced experiments spent stalled.
+	Stalls     int64
+	StallNanos int64
 }
 
 // ModeledTime converts the counters to simulated elapsed time under m.
@@ -68,6 +78,10 @@ type Accountant struct {
 	// byte-transfer costs while seeks stall their own caller.
 	debt atomic.Int64
 
+	// stall accounting (atomics: stall runs without holding mu).
+	stalls     atomic.Int64
+	stallNanos atomic.Int64
+
 	mu      sync.Mutex
 	stats   Stats
 	lastEnd map[int]int64 // file id → end offset of last read
@@ -86,22 +100,46 @@ func (a *Accountant) Model() Model { return a.model }
 // Stats returns a snapshot of the counters.
 func (a *Accountant) Stats() Stats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	s := a.stats
+	a.mu.Unlock()
+	s.Stalls = a.stalls.Load()
+	s.StallNanos = a.stallNanos.Load()
+	return s
 }
 
 // Reset zeroes the counters (seek positions are retained: the disk arm
-// does not move on reset).
+// does not move on reset). The paced-stall debt pool is cleared too:
+// leftover sub-millisecond debt from before the reset belongs to the
+// measurement interval that just closed, and must not be slept off by
+// the first reader of the next one.
 func (a *Accountant) Reset() {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.stats = Stats{}
+	a.mu.Unlock()
+	a.debt.Store(0)
+	a.stalls.Store(0)
+	a.stallNanos.Store(0)
 }
 
 // ModeledTime reports the simulated time for everything since the last
 // Reset.
 func (a *Accountant) ModeledTime() time.Duration {
 	return a.Stats().ModeledTime(a.model)
+}
+
+// RegisterMetrics exposes the accountant's counters on a registry under
+// the given name prefix (e.g. "iosim_fwd"): seeks, reads, transferred
+// and readahead-skipped bytes, the modeled time they imply, and the
+// pacing layer's stall count and slept nanoseconds. Values are read at
+// snapshot time, so a scrape always reconciles with Stats().
+func (a *Accountant) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_seeks", func() int64 { return a.Stats().Seeks })
+	reg.CounterFunc(prefix+"_reads", func() int64 { return a.Stats().Reads })
+	reg.CounterFunc(prefix+"_bytes_read", func() int64 { return a.Stats().BytesRead })
+	reg.CounterFunc(prefix+"_skipped_bytes", func() int64 { return a.Stats().SkippedBytes })
+	reg.CounterFunc(prefix+"_stalls", func() int64 { return a.Stats().Stalls })
+	reg.CounterFunc(prefix+"_stall_nanos", func() int64 { return a.Stats().StallNanos })
+	reg.GaugeFunc(prefix+"_modeled_nanos", func() int64 { return int64(a.ModeledTime()) })
 }
 
 // SetPace turns the model's cost into real time: while scale > 0,
@@ -172,6 +210,8 @@ func (a *Accountant) stall(d time.Duration) {
 		}
 		if a.debt.CompareAndSwap(cur, 0) {
 			time.Sleep(time.Duration(cur))
+			a.stalls.Add(1)
+			a.stallNanos.Add(cur)
 			return
 		}
 	}

@@ -175,3 +175,68 @@ func TestSize(t *testing.T) {
 		t.Fatalf("Size = %d, %v", sz, err)
 	}
 }
+
+// TestResetClearsPacedDebt is the regression test for the stall-debt
+// leak: sub-millisecond paced charges pool in the debt accumulator, and
+// a Reset between benchmark levels must clear the pool — otherwise the
+// first reader of the next level sleeps off time that belongs to the
+// previous one.
+func TestResetClearsPacedDebt(t *testing.T) {
+	// A model with no seek cost and a slow-ish transfer rate: one small
+	// read charges a paced stall well below paceMinSleep, so it pools as
+	// debt instead of sleeping.
+	m := Model{Seek: 0, BytesPerSecond: 25e6, SkipFree: 0}
+	acc := NewAccountant(m)
+	acc.SetPace(1.0)
+	f, err := acc.Open(tempFile(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 512) // 512 B / 25 MB/s ≈ 20 µs of debt
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := acc.debt.Load(); d <= 0 || d >= paceMinSleep {
+		t.Fatalf("setup: debt = %dns, want sub-threshold positive pool", d)
+	}
+	acc.Reset()
+	if d := acc.debt.Load(); d != 0 {
+		t.Fatalf("Reset left %dns of paced stall debt; next level's first reader would sleep it off", d)
+	}
+	if st := acc.Stats(); st != (Stats{}) {
+		t.Fatalf("Reset left counters %+v", st)
+	}
+}
+
+// TestStallAccounting checks that sleeping off pooled debt is counted.
+func TestStallAccounting(t *testing.T) {
+	m := Model{Seek: 2 * time.Millisecond, BytesPerSecond: 1e9, SkipFree: 0}
+	acc := NewAccountant(m)
+	acc.SetPace(1.0)
+	f, err := acc.Open(tempFile(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	// Two discontiguous reads: each charges a 2 ms seek, over the 1 ms
+	// batching threshold, so each sleeps immediately.
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 2048); err != nil {
+		t.Fatal(err)
+	}
+	st := acc.Stats()
+	if st.Stalls < 2 {
+		t.Fatalf("stalls = %d, want >= 2", st.Stalls)
+	}
+	if st.StallNanos < int64(3*time.Millisecond) {
+		t.Fatalf("stall nanos = %d, want >= 3ms", st.StallNanos)
+	}
+	acc.Reset()
+	if st := acc.Stats(); st.Stalls != 0 || st.StallNanos != 0 {
+		t.Fatalf("Reset left stall counters %+v", st)
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// WriteText renders a snapshot in the Prometheus text exposition style:
+// one `# TYPE` comment per family, counters and gauges as bare values,
+// histograms as cumulative `_bucket{le=...}` lines plus `_sum`,
+// `_count`, and precomputed `{quantile=...}` estimates. Names are
+// emitted in sorted order so scrapes diff cleanly.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", k); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", float64(h.Bounds[i])/float64(time.Second))
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", k, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
+			k, float64(h.Sum)/float64(time.Second), k, h.Count); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			q float64
+			v int64
+		}{{0.5, h.P50()}, {0.95, h.P95()}, {0.99, h.P99()}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n",
+				k, q.q, float64(q.v)/float64(time.Second)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histJSON is the archival form of one histogram (durations in
+// nanoseconds, matching the observed values).
+type histJSON struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Mean   float64 `json:"mean"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// WriteJSON dumps the snapshot as one indented JSON object — the form
+// snbench archives next to its CSVs so a benchmark run's full counter
+// state travels with its results.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	hists := make(map[string]histJSON, len(s.Histograms))
+	for k, h := range s.Histograms {
+		hists[k] = histJSON{
+			Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
+			P50: h.P50(), P95: h.P95(), P99: h.P99(),
+			Bounds: h.Bounds, Counts: h.Counts,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{s.Counters, s.Gauges, hists})
+}
+
+// Handler returns an http.Handler serving the registry's current state
+// as the text exposition (the snserve /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WriteText(w)
+	})
+}

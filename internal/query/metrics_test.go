@@ -1,0 +1,68 @@
+package query
+
+import (
+	"testing"
+
+	"snode/internal/metrics"
+	"snode/internal/repo"
+	"snode/internal/synth"
+)
+
+// TestQueryMetricsRecorded runs the six queries serially and in
+// parallel with a registry wired in, and checks every per-query
+// histogram counted its executions, the stage histograms are populated,
+// and the parallel pool reported occupancy.
+func TestQueryMetricsRecorded(t *testing.T) {
+	cfg := synth.DefaultConfig(2000)
+	crawl, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repo.DefaultOptions(t.TempDir())
+	opt.Schemes = []string{repo.SchemeSNode}
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAllParallel(4); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, q := range All() {
+		name := "query_latency_q" + string(rune('0'+int(q)))
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %s not registered", name)
+		}
+		if h.Count != 2 {
+			t.Errorf("%s count = %d, want 2 (one serial + one parallel run)", name, h.Count)
+		}
+		if h.P95() <= 0 {
+			t.Errorf("%s p95 = %d, want > 0", name, h.P95())
+		}
+	}
+	if h := snap.Histograms["query_nav_seconds"]; h.Count != 12 {
+		t.Errorf("nav stage count = %d, want 12", h.Count)
+	}
+	if h := snap.Histograms["query_resolve_seconds"]; h.Count == 0 {
+		t.Error("resolve stage histogram empty")
+	}
+	if got := snap.Counters["workpool_queries"]; got != 6 {
+		t.Errorf("workpool_queries = %d, want 6 (the parallel batch)", got)
+	}
+	if got := snap.Gauges["workpool_busy"]; got != 0 {
+		t.Errorf("workpool_busy = %d at rest, want 0", got)
+	}
+}

@@ -26,7 +26,13 @@ func (e *Engine) Shared() *Engine {
 func (e *Engine) RunParallel(qs []ID, workers int) ([]*Result, error) {
 	sh := e.Shared()
 	out := make([]*Result, len(qs))
-	err := workpool.New(workers).ForEach(len(qs), func(i int) error {
+	pool := workpool.New(workers)
+	if e.reg != nil {
+		// Worker occupancy: how many serving goroutines are mid-query at
+		// scrape time, and how many queries the pool has completed.
+		pool.Instrument(e.reg.Gauge("workpool_busy"), e.reg.Counter("workpool_queries"))
+	}
+	err := pool.ForEach(len(qs), func(i int) error {
 		r, err := sh.Run(qs[i])
 		if err != nil {
 			return err

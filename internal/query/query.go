@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"snode/internal/metrics"
 	"snode/internal/pagerank"
 	"snode/internal/repo"
 	"snode/internal/store"
@@ -91,6 +92,16 @@ type Engine struct {
 	// NavStats carries wall time only, since concurrent streams cannot
 	// attribute the shared accountant's bytes to one query.
 	shared bool
+
+	// Serving-path instrumentation, wired by SetMetrics (nil without):
+	// one latency histogram per Table 3 query plus the per-stage split —
+	// index resolution (text/PageRank/domain lookups, un-timed by the
+	// paper) versus navigation (the timed component). Pointers, so
+	// Shared copies record into the same histograms.
+	qHist       [Q6 + 1]*metrics.Histogram
+	resolveHist *metrics.Histogram
+	navHist     *metrics.Histogram
+	reg         *metrics.Registry
 }
 
 // New returns an engine bound to a scheme built in the repository.
@@ -101,6 +112,20 @@ func New(r *repo.Repository, scheme string) (*Engine, error) {
 	return &Engine{R: r, Scheme: scheme}, nil
 }
 
+// SetMetrics wires the engine's executions into a registry: a latency
+// histogram per query ID (query_latency_q1 .. query_latency_q6) and the
+// per-stage split between index resolution and navigation. Call before
+// serving; engines derived via Shared (and therefore RunParallel)
+// record into the same histograms, so concurrent streams aggregate.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	e.reg = reg
+	for _, q := range All() {
+		e.qHist[q] = reg.Histogram(fmt.Sprintf("query_latency_q%d", q), nil)
+	}
+	e.resolveHist = reg.Histogram("query_resolve_seconds", nil)
+	e.navHist = reg.Histogram("query_nav_seconds", nil)
+}
+
 // Run executes one query.
 func (e *Engine) Run(q ID) (*Result, error) {
 	switch q {
@@ -109,6 +134,22 @@ func (e *Engine) Run(q ID) (*Result, error) {
 			return nil, fmt.Errorf("query: Q%d needs in-neighborhood navigation; build the repository with Transpose", q)
 		}
 	}
+	start := time.Now()
+	r, err := e.run(q)
+	if err != nil || e.qHist[q] == nil {
+		return r, err
+	}
+	total := time.Since(start)
+	e.qHist[q].ObserveDuration(total)
+	e.navHist.ObserveDuration(r.Nav.CPU)
+	if resolve := total - r.Nav.CPU; resolve > 0 {
+		e.resolveHist.ObserveDuration(resolve)
+	}
+	return r, nil
+}
+
+// run dispatches to the query implementations.
+func (e *Engine) run(q ID) (*Result, error) {
 	switch q {
 	case Q1:
 		return e.q1()

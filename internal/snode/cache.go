@@ -36,9 +36,14 @@ type graphCache struct {
 	shards [cacheShards]cacheShard
 }
 
-// cacheShards is the shard count (a power of two, sized so that a
-// GOMAXPROCS' worth of goroutines rarely collides on one lock).
-const cacheShards = 16
+// cacheShardBits selects the shard count (a power of two, sized so
+// that a GOMAXPROCS' worth of goroutines rarely collides on one lock).
+// Everything downstream — the hash shift in shard, the budget split —
+// derives from it, so changing it cannot silently mis-shard.
+const (
+	cacheShardBits = 4
+	cacheShards    = 1 << cacheShardBits
+)
 
 // cacheShard is one lock domain of the buffer manager.
 type cacheShard struct {
@@ -85,16 +90,31 @@ func newGraphCache(budget int64) *graphCache {
 // across lock domains.
 func (c *graphCache) shard(id GraphID) *cacheShard {
 	h := uint32(id) * 0x9E3779B1
-	return &c.shards[h>>(32-4)] // top 4 bits → 16 shards
+	return &c.shards[h>>(32-cacheShardBits)] // top bits → cacheShards
 }
 
 // setBudget divides the total budget across shards (floor division, so
-// the shard budgets never sum to more than the configured total).
+// the shard budgets never sum to more than the configured total). A
+// degenerate budget — positive but smaller than the shard count — would
+// floor every shard to zero, leaving each shard thrashing with every
+// insert evicting whatever was resident; instead it is given whole to
+// shard 0, so tiny-budget configurations (the low end of the Figure 12
+// sweep, tests) retain a real LRU domain.
 func (c *graphCache) setBudget(budget int64) {
-	per := budget / cacheShards
 	for i := range c.shards {
-		c.shards[i].budget = per
+		c.shards[i].budget = shardBudget(budget, i)
 	}
+}
+
+// shardBudget is shard i's slice of a total budget — the single place
+// the split rule lives, shared by setBudget and reset so the
+// degenerate-budget handling cannot drift between them.
+func shardBudget(budget int64, i int) int64 {
+	per := budget / cacheShards
+	if per == 0 && i == 0 && budget > 0 {
+		return budget
+	}
+	return per
 }
 
 // get returns the cached graph and marks it recently used, counting a
@@ -129,6 +149,11 @@ func (c *graphCache) claim(id GraphID) (g decodedGraph, err error, leader bool) 
 	s := c.shard(id)
 	s.mu.Lock()
 	if el, ok := s.byID[id]; ok {
+		// Resolved between the caller's miss and this claim by another
+		// goroutine's decode: counted as Coalesced so every miss is
+		// attributable to exactly one load, wait, or reuse (the
+		// Loads+Coalesced >= Misses reconciliation the metrics assert).
+		s.stats.Coalesced++
 		s.lru.MoveToFront(el)
 		g := el.Value.(*cacheEntry).g
 		s.mu.Unlock()
@@ -154,6 +179,9 @@ func (c *graphCache) tryClaim(id GraphID) (decodedGraph, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.byID[id]; ok {
+		// As in claim: a miss resolved by another goroutine's completed
+		// decode counts as Coalesced.
+		s.stats.Coalesced++
 		s.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).g, claimCached
 	}
@@ -247,6 +275,31 @@ func (c *graphCache) decodedEdges() int64 {
 	return n
 }
 
+// usedBytes sums the decoded bytes currently resident across shards
+// (the decoded-bytes gauge of the serving metrics).
+func (c *graphCache) usedBytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// entries counts resident graphs across shards.
+func (c *graphCache) entries() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(s.lru.Len())
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // resetStats zeroes the counters, keeping contents (the warm-cache
 // repeated-trial methodology).
 func (c *graphCache) resetStats() {
@@ -264,11 +317,10 @@ func (c *graphCache) resetStats() {
 // leaders will complete into the fresh state, and their waiters are
 // still released.
 func (c *graphCache) reset(budget int64) {
-	per := budget / cacheShards
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.budget = per
+		s.budget = shardBudget(budget, i)
 		s.used = 0
 		s.lru.Init()
 		s.byID = map[GraphID]*list.Element{}

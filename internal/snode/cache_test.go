@@ -230,3 +230,141 @@ func TestCacheOversizedEntry(t *testing.T) {
 	}
 	checkShardInvariants(t, c)
 }
+
+// TestShardBudgetDegenerate is the regression test for the budget
+// split: a positive budget smaller than the shard count used to floor
+// every shard to zero; it must instead go whole to shard 0 so the
+// budgets still sum to the configured total.
+func TestShardBudgetDegenerate(t *testing.T) {
+	for _, budget := range []int64{1, 5, cacheShards - 1} {
+		c := newGraphCache(budget)
+		var sum int64
+		for i := range c.shards {
+			sum += c.shards[i].budget
+		}
+		if sum != budget {
+			t.Errorf("budget %d: shard budgets sum to %d, want the full budget", budget, sum)
+		}
+		if c.shards[0].budget != budget {
+			t.Errorf("budget %d: shard 0 has %d, want the whole degenerate budget", budget, c.shards[0].budget)
+		}
+		// reset must apply the same rule.
+		c.reset(budget)
+		if c.shards[0].budget != budget {
+			t.Errorf("reset(%d): shard 0 has %d, want the whole degenerate budget", budget, c.shards[0].budget)
+		}
+	}
+	// Non-degenerate budgets still split evenly; zero stays zero.
+	c := newGraphCache(cacheShards * 100)
+	for i := range c.shards {
+		if c.shards[i].budget != 100 {
+			t.Fatalf("shard %d budget = %d, want 100", i, c.shards[i].budget)
+		}
+	}
+	c.reset(0)
+	for i := range c.shards {
+		if c.shards[i].budget != 0 {
+			t.Fatalf("reset(0): shard %d budget = %d", i, c.shards[i].budget)
+		}
+	}
+}
+
+// TestShardMappingCoversAllShards checks the hash shift is derived from
+// the shard-count constant: dense graph IDs must spread over every
+// shard (a stale hardcoded shift would index a sub- or superset).
+func TestShardMappingCoversAllShards(t *testing.T) {
+	c := newGraphCache(1 << 20)
+	seen := map[*cacheShard]bool{}
+	for id := GraphID(0); id < 1<<14; id++ {
+		seen[c.shard(id)] = true
+	}
+	if len(seen) != cacheShards {
+		t.Fatalf("dense IDs reached %d shards, want %d", len(seen), cacheShards)
+	}
+}
+
+// TestCacheStatsReconcileUnderResetChaos is the serving-path accounting
+// invariant test: 32 goroutines drive a mixed get/claim/complete
+// workload while the cache is concurrently emptied and re-budgeted;
+// after the chaos phase quiesces, a counted phase (no resets) must
+// reconcile exactly — merged Hits+Misses equals the number of get
+// calls, and Loads+Coalesced covers every miss.
+func TestCacheStatsReconcileUnderResetChaos(t *testing.T) {
+	const goroutines = 32
+	c := newGraphCache(24 << 10)
+	workload := func(gets *atomic.Int64, ops int) {
+		var wg sync.WaitGroup
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*313 + 11))
+				for op := 0; op < ops; op++ {
+					id := GraphID(rng.Intn(200))
+					if gets != nil {
+						gets.Add(1)
+					}
+					if _, ok := c.get(id); ok {
+						continue
+					}
+					g, err, leader := c.claim(id)
+					if err != nil {
+						t.Errorf("claim(%d): %v", id, err)
+						return
+					}
+					if !leader {
+						if g == nil {
+							t.Errorf("claim(%d): follower got nil graph without error", id)
+						}
+						continue
+					}
+					sz := int64(128 + (int(id)*53)%1024)
+					c.complete(id, &stubGraph{size: sz, edges: int64(id)}, kindIntra, nil)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Chaos phase: workload with a concurrent resetter. No counter
+	// equalities hold across resets; this phase exists to interleave
+	// resets with in-flight claims (run under -race).
+	stop := make(chan struct{})
+	var resetter sync.WaitGroup
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		budgets := []int64{7, 8 << 10, 24 << 10, 48 << 10} // includes a degenerate budget
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.reset(budgets[i%len(budgets)])
+			}
+		}
+	}()
+	workload(nil, 2000)
+	close(stop)
+	resetter.Wait()
+
+	// Counted phase: quiesced counters, no resets — exact reconciliation.
+	c.resetStats()
+	var gets atomic.Int64
+	workload(&gets, 3000)
+	if t.Failed() {
+		return
+	}
+	checkShardInvariants(t, c)
+	st := c.statsMerged()
+	if got := st.Hits + st.Misses; got != gets.Load() {
+		t.Fatalf("Hits+Misses = %d, want %d (one per get call)", got, gets.Load())
+	}
+	if st.Loads+st.Coalesced < st.Misses {
+		t.Fatalf("Loads+Coalesced = %d does not cover Misses = %d: a miss resolved without a load, wait, or reuse",
+			st.Loads+st.Coalesced, st.Misses)
+	}
+	if st.Loads > st.Misses {
+		t.Fatalf("Loads=%d exceeds Misses=%d", st.Loads, st.Misses)
+	}
+}

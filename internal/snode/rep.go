@@ -1,12 +1,16 @@
 package snode
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/store"
 	"snode/internal/webgraph"
 	"snode/internal/workpool"
@@ -30,7 +34,22 @@ type Representation struct {
 	// domainOfSN[s] = index into m.Domains for supernode s. Immutable
 	// after Open, like m.
 	domainOfSN []int32
+
+	// decodeHist, when set via RegisterMetrics, times every lower-level
+	// graph decode (atomic pointer: registration may race with serving).
+	decodeHist atomic.Pointer[metrics.Histogram]
+
+	// decodeFault, when non-nil, is consulted before every decode — the
+	// fault-injection hook the error-path regression tests use to fail a
+	// mid-span decode on demand. Set it before serving; nil in
+	// production.
+	decodeFault func(GraphID) error
 }
+
+// errDecodeAbandoned completes a claimed in-flight decode whose leader
+// unwound (panic or early return) without producing a result: waiters
+// are released with this error instead of blocking forever.
+var errDecodeAbandoned = errors.New("snode: decode abandoned by leader")
 
 // Reader is the concurrency-safe read handle over an S-Node
 // representation (the name the serving layer uses; Open returns one).
@@ -99,6 +118,32 @@ func (r *Representation) StatsExt() AccessStatsExt {
 
 // DecodedEdges reports edges decoded since the last stats reset.
 func (r *Representation) DecodedEdges() int64 { return r.cache.decodedEdges() }
+
+// RegisterMetrics exposes the representation's serving counters on a
+// registry under the given name prefix (e.g. "snode_fwd"): buffer-
+// manager hit/miss/load/coalesce/eviction counters, the decoded-edge
+// counter behind the Table 2 throughput metric, resident decoded bytes
+// and entry gauges, the I/O accountant's seek/transfer/stall counters,
+// and a decode-latency histogram. All values are read from the same
+// synchronized state as StatsExt, so a /metrics scrape always
+// reconciles with it.
+func (r *Representation) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	r.acc.RegisterMetrics(reg, prefix+"_io")
+	cs := func(f func(CacheStats) int64) func() int64 {
+		return func() int64 { return f(r.cache.statsMerged()) }
+	}
+	reg.CounterFunc(prefix+"_cache_hits", cs(func(s CacheStats) int64 { return s.Hits }))
+	reg.CounterFunc(prefix+"_cache_misses", cs(func(s CacheStats) int64 { return s.Misses }))
+	reg.CounterFunc(prefix+"_cache_loads", cs(func(s CacheStats) int64 { return s.Loads }))
+	reg.CounterFunc(prefix+"_cache_coalesced", cs(func(s CacheStats) int64 { return s.Coalesced }))
+	reg.CounterFunc(prefix+"_cache_evictions", cs(func(s CacheStats) int64 { return s.Evictions }))
+	reg.CounterFunc(prefix+"_cache_intra_loads", cs(func(s CacheStats) int64 { return s.IntraLoads }))
+	reg.CounterFunc(prefix+"_cache_super_loads", cs(func(s CacheStats) int64 { return s.SuperLoads }))
+	reg.CounterFunc(prefix+"_decoded_edges", r.cache.decodedEdges)
+	reg.GaugeFunc(prefix+"_cache_bytes", r.cache.usedBytes)
+	reg.GaugeFunc(prefix+"_cache_entries", r.cache.entries)
+	r.decodeHist.Store(reg.Histogram(prefix+"_decode_seconds", nil))
+}
 
 // ResetStats implements store.LinkStore. The buffer manager's contents
 // are retained (a warm cache between queries, as in the paper's
@@ -179,9 +224,17 @@ func (r *Representation) load(gid GraphID) (decodedGraph, error) {
 
 // readDecodeComplete performs the leader's half of a claimed decode:
 // read the graph's bytes, decode, and complete the flight (releasing
-// any coalesced waiters) whether or not anything failed.
+// any coalesced waiters) whether or not anything failed — including a
+// panicking decode, which the deferred sweep converts into a released
+// flight instead of a permanently blocked waiter set.
 func (r *Representation) readDecodeComplete(gid GraphID) (decodedGraph, error) {
 	e := &r.m.Directory[gid]
+	completed := false
+	defer func() {
+		if !completed {
+			r.cache.complete(gid, nil, e.Kind, errDecodeAbandoned)
+		}
+	}()
 	g, err := func() (decodedGraph, error) {
 		if int(e.File) >= len(r.files) {
 			return nil, fmt.Errorf("snode: graph %d in missing file %d", gid, e.File)
@@ -195,11 +248,21 @@ func (r *Representation) readDecodeComplete(gid GraphID) (decodedGraph, error) {
 		return r.decode(gid, buf)
 	}()
 	r.cache.complete(gid, g, e.Kind, err)
+	completed = true
 	return g, err
 }
 
 // decode parses one graph's encoded bytes into its in-memory form.
 func (r *Representation) decode(gid GraphID, buf []byte) (decodedGraph, error) {
+	if r.decodeFault != nil {
+		if err := r.decodeFault(gid); err != nil {
+			return nil, err
+		}
+	}
+	if h := r.decodeHist.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.ObserveDuration(time.Since(start)) }()
+	}
 	e := &r.m.Directory[gid]
 	switch e.Kind {
 	case kindIntra:
@@ -305,10 +368,6 @@ func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []w
 		}
 	}
 
-	type needEntry struct {
-		gid GraphID
-		j   int32
-	}
 	var need []needEntry
 	if acceptSN == nil || acceptSN(i) {
 		need = append(need, needEntry{r.m.IntraGID[i], i})
@@ -372,39 +431,76 @@ func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []w
 			claimed = append(claimed, miss[end])
 			end++
 		}
-		n := int(spanEnd - first.Offset)
-		bp := getReadBuf(n)
-		rb := (*bp)[:n]
-		if _, err := r.files[first.File].ReadAt(rb, first.Offset); err != nil {
-			readErr := fmt.Errorf("snode: span read: %w", err)
-			for _, ne := range claimed {
-				r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, readErr)
-			}
-			readBufPool.Put(bp)
-			return buf, readErr
-		}
-		// Decode and complete every claimed graph — even after an error,
-		// so no waiter is left blocked on an abandoned flight.
-		var decodeErr error
-		for _, ne := range claimed {
-			e := &r.m.Directory[ne.gid]
-			off := e.Offset - first.Offset
-			g, err := r.decode(ne.gid, rb[off:off+int64(e.NumBytes)])
-			r.cache.complete(ne.gid, g, e.Kind, err)
-			if err != nil && decodeErr == nil {
-				decodeErr = err
-			}
-			if err == nil && decodeErr == nil {
-				process(ne.gid, ne.j, g)
-			}
-		}
-		readBufPool.Put(bp)
-		if decodeErr != nil {
-			return buf, decodeErr
+		// From this point the call holds claimed in-flight decodes that
+		// coalesced waiters may be blocked on; readDecodeSpan guarantees
+		// every one is completed exactly once on every exit path.
+		if err := r.readDecodeSpan(claimed, spanEnd, process); err != nil {
+			return buf, err
 		}
 		k = end
 	}
 	return buf, firstErr
+}
+
+// needEntry is one lower-level graph a lookup must consult: the graph
+// and the target supernode its lists resolve into.
+type needEntry struct {
+	gid GraphID
+	j   int32
+}
+
+// readDecodeSpan reads the contiguous byte span covering the claimed
+// graphs in one ReadAt, decodes each, and completes every claimed
+// in-flight decode exactly once. The deferred sweep makes the
+// completion guarantee unconditional: whether the read fails, a decode
+// fails, or a decode (or the process callback) panics, no claimed
+// flight is left open — an abandoned flight would block its coalesced
+// waiters forever. The first error is returned after all completions.
+func (r *Representation) readDecodeSpan(claimed []needEntry, spanEnd int64, process func(gid GraphID, j int32, g decodedGraph)) error {
+	first := &r.m.Directory[claimed[0].gid]
+	completed := 0
+	defer func() {
+		for _, ne := range claimed[completed:] {
+			r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, errDecodeAbandoned)
+		}
+	}()
+	if int(first.File) >= len(r.files) {
+		err := fmt.Errorf("snode: graph %d in missing file %d", claimed[0].gid, first.File)
+		for _, ne := range claimed {
+			r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, err)
+		}
+		completed = len(claimed)
+		return err
+	}
+	n := int(spanEnd - first.Offset)
+	bp := getReadBuf(n)
+	defer readBufPool.Put(bp)
+	rb := (*bp)[:n]
+	if _, err := r.files[first.File].ReadAt(rb, first.Offset); err != nil {
+		readErr := fmt.Errorf("snode: span read: %w", err)
+		for _, ne := range claimed {
+			r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, readErr)
+		}
+		completed = len(claimed)
+		return readErr
+	}
+	// Decode and complete every claimed graph — even after an error, so
+	// no waiter is left blocked on an abandoned flight.
+	var decodeErr error
+	for _, ne := range claimed {
+		e := &r.m.Directory[ne.gid]
+		off := e.Offset - first.Offset
+		g, err := r.decode(ne.gid, rb[off:off+int64(e.NumBytes)])
+		r.cache.complete(ne.gid, g, e.Kind, err)
+		completed++
+		if err != nil && decodeErr == nil {
+			decodeErr = err
+		}
+		if err == nil && decodeErr == nil {
+			process(ne.gid, ne.j, g)
+		}
+	}
+	return decodeErr
 }
 
 // ParallelNeighbors resolves the adjacency of every page in ps

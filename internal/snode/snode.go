@@ -165,15 +165,17 @@ func (s BuildStats) SizeBytes() int64 {
 // CacheStats reports buffer-manager behaviour (used by Figure 12 and
 // the §4.3 instrumentation that counts graphs loaded per query). Under
 // the sharded buffer manager the counters are kept per shard and merged
-// on read; Hits+Misses equals the total number of cache lookups, and
-// Loads counts actual decodes (Misses - Loads requests were either
-// coalesced onto another goroutine's in-flight decode, counted in
-// Coalesced, or found the graph decoded by the time they claimed it).
+// on read. Two identities hold over any quiescent interval (no resets,
+// no failed decodes): Hits+Misses equals the total number of cache
+// lookups, and Loads+Coalesced >= Misses — every miss either performed
+// a decode (Loads) or was resolved by another goroutine's decode
+// (Coalesced: waited on it in flight, or found it completed by claim
+// time). The serving metrics and the concurrency tests assert both.
 type CacheStats struct {
 	Loads      int64
 	Hits       int64
 	Misses     int64
-	Coalesced  int64 // misses that waited on an in-flight decode instead of decoding
+	Coalesced  int64 // misses resolved by another goroutine's decode
 	Evictions  int64
 	IntraLoads int64
 	SuperLoads int64

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"snode/internal/metrics"
 )
 
 // Pool is a bounded degree of parallelism. The zero value is not
@@ -19,6 +21,10 @@ import (
 // so it is cheap to create and safe to share.
 type Pool struct {
 	workers int
+
+	// Optional occupancy instrumentation (nil disables; see Instrument).
+	busy  *metrics.Gauge
+	items *metrics.Counter
 }
 
 // New returns a pool of the given width; workers <= 0 selects
@@ -33,6 +39,35 @@ func New(workers int) *Pool {
 
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// Instrument attaches worker-occupancy metrics to the pool and returns
+// it: busy tracks goroutines currently inside fn (the occupancy gauge a
+// scrape sees mid-run), items counts completed work items. Either may
+// be nil. Call before the pool is shared; typical wiring:
+//
+//	pool := workpool.New(w).Instrument(
+//		reg.Gauge("workpool_busy"), reg.Counter("workpool_items"))
+func (p *Pool) Instrument(busy *metrics.Gauge, items *metrics.Counter) *Pool {
+	p.busy = busy
+	p.items = items
+	return p
+}
+
+// enter/exit bracket one work item for the occupancy instruments.
+func (p *Pool) enter() {
+	if p.busy != nil {
+		p.busy.Add(1)
+	}
+}
+
+func (p *Pool) exit() {
+	if p.busy != nil {
+		p.busy.Add(-1)
+	}
+	if p.items != nil {
+		p.items.Inc()
+	}
+}
 
 // ForEach invokes fn(i) for every i in [0, n), distributing the calls
 // over the pool's workers. Items are claimed from a shared counter, so
@@ -49,7 +84,10 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			p.enter()
+			err := fn(i)
+			p.exit()
+			if err != nil {
 				return err
 			}
 		}
@@ -71,7 +109,10 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 				if i >= int64(n) {
 					return
 				}
-				if err := fn(int(i)); err != nil {
+				p.enter()
+				err := fn(int(i))
+				p.exit()
+				if err != nil {
 					errMu.Lock()
 					if first == nil {
 						first = err

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"snode/internal/metrics"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -79,5 +81,42 @@ func TestRun(t *testing.T) {
 	)
 	if err != nil || !a.Load() || !b.Load() {
 		t.Fatalf("Run: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+}
+
+func TestInstrumentOccupancy(t *testing.T) {
+	reg := metrics.NewRegistry()
+	busy, items := reg.Gauge("wp_busy"), reg.Counter("wp_items")
+	p := New(4).Instrument(busy, items)
+	const n = 100
+	var maxBusy atomic.Int64
+	err := p.ForEach(n, func(i int) error {
+		b := busy.Value()
+		for {
+			m := maxBusy.Load()
+			if b <= m || maxBusy.CompareAndSwap(m, b) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := items.Value(); got != n {
+		t.Fatalf("items = %d, want %d", got, n)
+	}
+	if busy.Value() != 0 {
+		t.Fatalf("busy = %d after ForEach returned, want 0", busy.Value())
+	}
+	if m := maxBusy.Load(); m < 1 || m > 4 {
+		t.Fatalf("observed busy peak %d, want within [1, 4]", m)
+	}
+	// Serial path counts too.
+	if err := New(1).Instrument(busy, items).ForEach(5, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := items.Value(); got != n+5 {
+		t.Fatalf("items = %d after serial batch, want %d", got, n+5)
 	}
 }

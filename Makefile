@@ -1,9 +1,10 @@
 # Standard development targets. `make check` is the tier-1 verify:
-# build + vet + plain tests + race-hardened tests.
+# build + vet + plain tests + race-hardened tests + the tracing
+# no-overhead guard.
 
 GO ?= go
 
-.PHONY: build vet test test-race check bench clean
+.PHONY: build vet test test-race check-overhead check bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -19,10 +20,24 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race
+# Guard the untraced serving path: an engine with an attached-but-never-
+# sampling tracer must add zero allocations per query, and the trace
+# primitives themselves must be allocation-free when the context carries
+# no trace. Run with -count=1 so the guard always executes.
+check-overhead:
+	$(GO) test -count=1 -run 'TestUntracedTracingAddsNoAllocs' ./internal/query
+	$(GO) test -count=1 -run 'TestUntracedPrimitivesZeroAlloc' ./internal/trace
+
+check: build vet test test-race check-overhead
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Benchmark trajectory artifact: the concurrency experiment's metrics
+# registry (histograms, cache/io counters, worker occupancy) as JSON,
+# committed per PR so serving-path regressions show up in review.
+bench-json:
+	$(GO) run ./cmd/snbench -experiment concurrency -quick -trace 8 -metrics-out BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

@@ -21,6 +21,7 @@ import (
 
 	"snode/internal/bench"
 	"snode/internal/metrics"
+	"snode/internal/trace"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency experiment (0 = full modeled time)")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
+	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
+	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	cfg := bench.Default()
@@ -44,6 +47,13 @@ func main() {
 	cfg.Workspace = *workspace
 	if *metricsOut != "" {
 		cfg.Metrics = metrics.NewRegistry()
+	}
+	if *traceOut != "" && *traceEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "snbench: -trace-out requires -trace N (N > 0)")
+		os.Exit(2)
+	}
+	if *traceEvery > 0 {
+		cfg.Tracer = trace.New(trace.Config{SampleEvery: *traceEvery})
 	}
 
 	run := func(name string, fn func() error) {
@@ -187,5 +197,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+
+	if cfg.Tracer != nil {
+		traces := cfg.Tracer.Traces()
+		fmt.Printf("slow-query log: %d retained trace(s)\n", len(traces))
+		for i, t := range traces {
+			if i >= 8 {
+				fmt.Printf("... (%d more)\n", len(traces)-i)
+				break
+			}
+			s := t.Summary()
+			fmt.Printf("id=%-6d class=%-3s total=%-12v spans=%-4d seeks=%-4d decodes=%d\n",
+				s.ID, s.Class, time.Duration(s.TotalNs).Round(10*time.Microsecond),
+				s.Spans, s.Seeks, s.Decodes)
+		}
+		if *traceOut != "" && len(traces) > 0 {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snbench: -trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			if err := trace.WriteChromeTrace(f, traces...); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snbench: -trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("traces written to %s (load in chrome://tracing)\n", *traceOut)
+		}
 	}
 }

@@ -4,30 +4,102 @@
 //
 //	snquery -crawl ./crawl -scheme snode -query all
 //	snquery -crawl ./crawl -scheme files -query 1
+//	snquery -crawl ./crawl -query 2 -trace -trace-out q2.trace.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"snode/internal/corpusio"
 	"snode/internal/query"
 	"snode/internal/repo"
+	"snode/internal/trace"
 )
 
-func main() {
-	crawlDir := flag.String("crawl", "crawl", "directory written by sngen")
-	scheme := flag.String("scheme", repo.SchemeSNode, "representation to query")
-	queryID := flag.String("query", "all", "1..6 or all")
-	budget := flag.Int64("budget", 4<<20, "cache budget (bytes)")
-	rows := flag.Int("rows", 10, "result rows to print per query")
+// options are the validated command-line inputs.
+type options struct {
+	crawlDir string
+	scheme   string
+	queryID  string
+	budget   int64
+	rows     int
+	traceOn  bool
+	traceOut string
+
+	queries []query.ID
+}
+
+// usageError prints the problem in flag-package style (message plus
+// defaults) and exits 2, the conventional usage-error status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snquery: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// parseFlags validates every flag before any expensive work: unknown
+// schemes, malformed query selectors, nonsensical budgets, and missing
+// crawl directories all fail fast with a usage-style message instead
+// of surfacing as a build error minutes later.
+func parseFlags() options {
+	var o options
+	flag.StringVar(&o.crawlDir, "crawl", "crawl", "directory written by sngen")
+	flag.StringVar(&o.scheme, "scheme", repo.SchemeSNode, "representation to query (one of: "+strings.Join(repo.AllSchemes(), ", ")+")")
+	flag.StringVar(&o.queryID, "query", "all", "1..6 or all")
+	flag.Int64Var(&o.budget, "budget", 4<<20, "cache budget (bytes, > 0)")
+	flag.IntVar(&o.rows, "rows", 10, "result rows to print per query (>= 0)")
+	flag.BoolVar(&o.traceOn, "trace", false, "trace every query: print its span tree after the results")
+	flag.StringVar(&o.traceOut, "trace-out", "", "with -trace: also write the traces as Chrome trace_event JSON (chrome://tracing) to this file")
 	flag.Parse()
 
-	crawl, err := corpusio.Read(filepath.Join(*crawlDir, "corpus.bin"))
+	if flag.NArg() > 0 {
+		usageError("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	}
+	valid := false
+	for _, s := range repo.AllSchemes() {
+		if s == o.scheme {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		usageError("unknown -scheme %q (valid: %s)", o.scheme, strings.Join(repo.AllSchemes(), ", "))
+	}
+	if o.budget <= 0 {
+		usageError("-budget must be positive, got %d", o.budget)
+	}
+	if o.rows < 0 {
+		usageError("-rows must be >= 0, got %d", o.rows)
+	}
+	if o.traceOut != "" && !o.traceOn {
+		usageError("-trace-out requires -trace")
+	}
+	if o.queryID == "all" {
+		o.queries = query.All()
+	} else {
+		qi, err := strconv.Atoi(o.queryID)
+		if err != nil || qi < 1 || qi > 6 {
+			usageError("-query must be 1..6 or all, got %q", o.queryID)
+		}
+		o.queries = []query.ID{query.ID(qi)}
+	}
+	if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
+		usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
+	}
+	return o
+}
+
+func main() {
+	o := parseFlags()
+
+	crawl, err := corpusio.Read(filepath.Join(o.crawlDir, "corpus.bin"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snquery:", err)
 		os.Exit(1)
@@ -40,10 +112,10 @@ func main() {
 	defer os.RemoveAll(ws)
 
 	opt := repo.DefaultOptions(ws)
-	opt.Schemes = []string{*scheme}
-	opt.CacheBudget = *budget
+	opt.Schemes = []string{o.scheme}
+	opt.CacheBudget = o.budget
 	opt.Layout = crawl.Order
-	fmt.Fprintf(os.Stderr, "building %s representation...\n", *scheme)
+	fmt.Fprintf(os.Stderr, "building %s representation...\n", o.scheme)
 	start := time.Now()
 	r, err := repo.Build(crawl.Corpus, opt)
 	if err != nil {
@@ -53,24 +125,18 @@ func main() {
 	defer r.Close()
 	fmt.Fprintf(os.Stderr, "built in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	e, err := query.New(r, *scheme)
+	e, err := query.New(r, o.scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snquery:", err)
 		os.Exit(1)
 	}
-	var queries []query.ID
-	if *queryID == "all" {
-		queries = query.All()
-	} else {
-		qi, err := strconv.Atoi(*queryID)
-		if err != nil || qi < 1 || qi > 6 {
-			fmt.Fprintln(os.Stderr, "snquery: -query must be 1..6 or all")
-			os.Exit(1)
-		}
-		queries = []query.ID{query.ID(qi)}
+	if o.traceOn {
+		// SampleEvery 1: trace every execution for interactive use.
+		e.SetTracer(trace.New(trace.Config{SampleEvery: 1}))
 	}
-	for _, q := range queries {
-		res, err := e.Run(q)
+	var traced []*trace.Trace
+	for _, q := range o.queries {
+		res, err := e.Run(context.Background(), q)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snquery: query %d: %v\n", q, err)
 			os.Exit(1)
@@ -82,12 +148,34 @@ func main() {
 			res.Nav.IO.Round(10*time.Microsecond),
 			res.Nav.Seeks, res.Nav.BytesRead, res.Nav.GraphsLoaded)
 		for i, row := range res.Rows {
-			if i >= *rows {
+			if i >= o.rows {
 				fmt.Printf("  ... (%d more rows)\n", len(res.Rows)-i)
 				break
 			}
 			fmt.Printf("  %10.3f  %s\n", row.Value, row.Key)
 		}
+		if res.Trace != nil {
+			fmt.Println()
+			res.Trace.Render(os.Stdout)
+			traced = append(traced, res.Trace)
+		}
 		fmt.Println()
+	}
+	if o.traceOut != "" && len(traced) > 0 {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snquery:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChromeTrace(f, traced...); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snquery:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace(s) to %s (load in chrome://tracing)\n", len(traced), o.traceOut)
 	}
 }

@@ -15,15 +15,26 @@
 // With -listen, snserve exposes the serving path's observability
 // surface over HTTP while the levels run:
 //
-//	/metrics      text exposition: per-query latency histograms with
-//	              p50/p95/p99, cache hit/miss/load/coalesce/eviction
-//	              counters, decoded-bytes gauges, iosim seek/transfer/
-//	              stall accounting, worker occupancy
-//	/debug/vars   the same snapshot as expvar JSON
-//	/debug/pprof  the standard net/http/pprof profiles
+//	/metrics       text exposition: per-query latency histograms with
+//	               p50/p95/p99 and tail-bucket trace-ID exemplars, cache
+//	               hit/miss/load/coalesce/eviction counters,
+//	               decoded-bytes gauges, iosim seek/transfer/stall
+//	               accounting, worker occupancy
+//	/debug/vars    the same snapshot as expvar JSON
+//	/debug/pprof   the standard net/http/pprof profiles
+//	/debug/traces  the slow-query log: retained execution traces as JSON
+//	               summaries; ?id=N for one trace's span tree
+//	               (&format=chrome for chrome://tracing, &format=text
+//	               for a rendered tree)
+//
+// Sampled requests (-trace-every, default 1 in 64) carry a trace down
+// through the engine, cache, and I/O simulator; the slowest per query
+// class are retained and linked from the latency histograms' tail
+// buckets.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -43,6 +54,7 @@ import (
 	"snode/internal/snode"
 	"snode/internal/store"
 	"snode/internal/synth"
+	"snode/internal/trace"
 )
 
 func parseLevels(s string) ([]int, error) {
@@ -59,14 +71,16 @@ func parseLevels(s string) ([]int, error) {
 
 // options are the validated serving parameters.
 type options struct {
-	pages     int
-	levels    []int
-	rounds    int
-	budget    int64
-	pace      float64
-	seed      uint64
-	workspace string
-	listen    string
+	pages      int
+	levels     []int
+	rounds     int
+	budget     int64
+	pace       float64
+	seed       uint64
+	workspace  string
+	listen     string
+	traceEvery int
+	traceSlow  int
 }
 
 // validate rejects flag combinations that would previously slip
@@ -86,6 +100,12 @@ func validate(o *options) error {
 	if o.pace < 0 {
 		return fmt.Errorf("-pace must be >= 0 (got %g)", o.pace)
 	}
+	if o.traceEvery < 0 {
+		return fmt.Errorf("-trace-every must be >= 0 (got %d; 0 disables tracing)", o.traceEvery)
+	}
+	if o.traceSlow < 1 {
+		return fmt.Errorf("-trace-slow must be >= 1 (got %d)", o.traceSlow)
+	}
 	return nil
 }
 
@@ -98,7 +118,9 @@ func main() {
 	flag.Float64Var(&o.pace, "pace", 1.0, "disk-stall scale (0 disables pacing)")
 	flag.Uint64Var(&o.seed, "seed", 20030226, "crawl generator seed")
 	flag.StringVar(&o.workspace, "workspace", "", "build directory (default: temp)")
-	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :8080; empty disables)")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/traces on this address (e.g. :8080; empty disables)")
+	flag.IntVar(&o.traceEvery, "trace-every", 64, "trace 1 in N queries (0 disables tracing)")
+	flag.IntVar(&o.traceSlow, "trace-slow", 4, "retain the N slowest traces per query class")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -118,8 +140,10 @@ func main() {
 }
 
 // startHTTP binds the observability endpoint and serves it in the
-// background, returning the bound address (resolving :0).
-func startHTTP(addr string, reg *metrics.Registry) (string, error) {
+// background, returning the bound address (resolving :0). tracer may
+// be nil (tracing disabled), in which case /debug/traces serves an
+// empty list.
+func startHTTP(addr string, reg *metrics.Registry, tracer *trace.Tracer) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("-listen %s: %w", addr, err)
@@ -128,6 +152,7 @@ func startHTTP(addr string, reg *metrics.Registry) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/traces", trace.Handler(tracer))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -183,9 +208,16 @@ func serve(o *options) error {
 
 	// Wire the whole serving path into one registry: per-query latency
 	// histograms and stage timings (engine), cache and I/O counters per
-	// direction (representations), worker occupancy (pool).
+	// direction (representations), worker occupancy (pool). The tracer
+	// samples 1 in -trace-every requests into span trees whose slowest
+	// representatives are retained per query class.
 	reg := metrics.NewRegistry()
 	e.SetMetrics(reg)
+	var tracer *trace.Tracer
+	if o.traceEvery > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: o.traceEvery, SlowPerClass: o.traceSlow})
+		e.SetTracer(tracer)
+	}
 	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
 	prefixes := []string{"snode_fwd", "snode_rev"}
 	for i, s := range stores {
@@ -197,11 +229,11 @@ func serve(o *options) error {
 		}
 	}
 	if o.listen != "" {
-		addr, err := startHTTP(o.listen, reg)
+		addr, err := startHTTP(o.listen, reg, tracer)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof, /debug/traces)\n", addr)
 	}
 
 	var jobs []query.ID
@@ -222,7 +254,7 @@ func serve(o *options) error {
 		}
 		prev := reg.Snapshot()
 		start := time.Now()
-		if _, err := e.RunParallel(jobs, g); err != nil {
+		if _, err := e.RunParallel(context.Background(), jobs, g); err != nil {
 			return fmt.Errorf("level %d: %w", g, err)
 		}
 		elapsed := time.Since(start)
@@ -243,19 +275,44 @@ func serve(o *options) error {
 	}
 
 	// Latency summary across all levels, from the per-query histograms.
+	// The exemplar column links each query's latency tail to a retained
+	// trace: the /debug/traces?id=N span tree explains where that
+	// execution's time went.
 	snap := reg.Snapshot()
 	fmt.Printf("\nper-query latency across all levels (wall time per execution)\n")
-	fmt.Printf("%6s %8s %10s %10s %10s\n", "query", "count", "p50", "p95", "p99")
+	fmt.Printf("%6s %8s %10s %10s %10s %14s\n", "query", "count", "p50", "p95", "p99", "tail trace")
 	for _, q := range query.All() {
-		h, ok := snap.Histograms[fmt.Sprintf("query_latency_q%d", q)]
+		name := fmt.Sprintf("query_latency_q%d", q)
+		h, ok := snap.Histograms[name]
 		if !ok {
 			continue
 		}
-		fmt.Printf("%6s %8d %10v %10v %10v\n",
+		exemplar := "-"
+		if _, id := h.TailExemplar(); id != 0 {
+			exemplar = fmt.Sprintf("id=%d", id)
+		}
+		fmt.Printf("%6s %8d %10v %10v %10v %14s\n",
 			fmt.Sprintf("Q%d", q), h.Count,
 			time.Duration(h.P50()).Round(10*time.Microsecond),
 			time.Duration(h.P95()).Round(10*time.Microsecond),
-			time.Duration(h.P99()).Round(10*time.Microsecond))
+			time.Duration(h.P99()).Round(10*time.Microsecond),
+			exemplar)
+	}
+	if tracer != nil {
+		if traces := tracer.Traces(); len(traces) > 0 {
+			fmt.Printf("\nslow-query log: %d retained trace(s)\n", len(traces))
+			for i, t := range traces {
+				if i >= 6 {
+					fmt.Printf("  ... (%d more)\n", len(traces)-i)
+					break
+				}
+				s := t.Summary()
+				fmt.Printf("  id=%-6d class=%-3s total=%-12v spans=%-4d seeks=%-4d decodes=%d\n",
+					s.ID, s.Class, time.Duration(s.TotalNs).Round(10*time.Microsecond),
+					s.Spans, s.Seeks, s.Decodes)
+			}
+			fmt.Println("  (inspect with /debug/traces?id=N, or &format=chrome for chrome://tracing)")
+		}
 	}
 	if o.listen != "" {
 		fmt.Println("\nserving complete; metrics endpoint stays up until interrupted (ctrl-C to exit)")

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := e.Run(query.Q1)
+		res, err := e.Run(context.Background(), query.Q1)
 		if err != nil {
 			log.Fatal(err)
 		}

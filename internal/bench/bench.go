@@ -27,6 +27,7 @@ import (
 	"snode/internal/iosim"
 	"snode/internal/metrics"
 	"snode/internal/synth"
+	"snode/internal/trace"
 )
 
 // Config controls the experiment scale.
@@ -62,6 +63,10 @@ type Config struct {
 	// direction, worker occupancy. cmd/snbench -metrics-out dumps the
 	// registry to JSON after the run.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, is wired into the experiments' query engines
+	// so sampled executions build span trees and feed the slow-query
+	// log. cmd/snbench -trace renders the retained traces after the run.
+	Tracer *trace.Tracer
 }
 
 // Default returns the full-scale configuration (what cmd/snbench runs).

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -68,6 +69,9 @@ func Concurrency(cfg Config) ([]ThroughputRow, error) {
 	}
 
 	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
+	if cfg.Tracer != nil {
+		e.SetTracer(cfg.Tracer)
+	}
 	if cfg.Metrics != nil {
 		e.SetMetrics(cfg.Metrics)
 		for i, prefix := range []string{"snode_fwd", "snode_rev"} {
@@ -109,7 +113,7 @@ func Concurrency(cfg Config) ([]ThroughputRow, error) {
 			}
 		}
 		start := time.Now()
-		if _, err := e.RunParallel(jobs, g); err != nil {
+		if _, err := e.RunParallel(context.Background(), jobs, g); err != nil {
 			return nil, fmt.Errorf("bench: concurrency level %d: %w", g, err)
 		}
 		elapsed := time.Since(start)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -54,6 +55,9 @@ func runQueryCold(cfg Config, r *repo.Repository, scheme string, q query.ID, bud
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Tracer != nil {
+		e.SetTracer(cfg.Tracer)
+	}
 	trials := cfg.Trials
 	if trials < 1 {
 		trials = 1
@@ -66,7 +70,7 @@ func runQueryCold(cfg Config, r *repo.Repository, scheme string, q query.ID, bud
 				cr.ResetCache(budget)
 			}
 		}
-		res, err := e.Run(q)
+		res, err := e.Run(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}

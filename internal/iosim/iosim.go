@@ -10,6 +10,7 @@
 package iosim
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"snode/internal/metrics"
+	"snode/internal/trace"
 )
 
 // Model describes the simulated disk.
@@ -160,8 +162,9 @@ func (a *Accountant) SetPace(scale float64) {
 const paceMinSleep = int64(time.Millisecond)
 
 // record accounts one read of n bytes at off on the given file and
-// returns the paced stall the caller owes (zero when pacing is off).
-func (a *Accountant) record(fileID int, off int64, n int) time.Duration {
+// returns the paced stall the caller owes (zero when pacing is off)
+// plus whether the read was charged a seek (for trace attribution).
+func (a *Accountant) record(fileID int, off int64, n int) (time.Duration, bool) {
 	a.mu.Lock()
 	a.stats.Reads++
 	a.stats.BytesRead += int64(n)
@@ -192,13 +195,23 @@ func (a *Accountant) record(fileID int, off int64, n int) time.Duration {
 		pause = time.Duration(float64(d) * a.pace)
 	}
 	a.mu.Unlock()
-	return pause
+	return pause, seeked
 }
 
 // stall settles a paced charge: small charges pool in debt, and the
 // reader whose charge pushes the pool past paceMinSleep sleeps the
 // whole pool. Called without holding a.mu.
 func (a *Accountant) stall(d time.Duration) {
+	a.stallCtx(context.Background(), d)
+}
+
+// stallCtx is stall with trace attribution: when the calling request
+// is traced and this reader is the one that sleeps off the pooled
+// debt, the sleep is recorded as an "iosim.stall" span. Note the
+// pooled debt may include other readers' sub-threshold charges — the
+// span's pooled_ns attribute is the whole amount slept, which is
+// exactly the wall time this request lost to the pacing layer.
+func (a *Accountant) stallCtx(ctx context.Context, d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -209,9 +222,20 @@ func (a *Accountant) stall(d time.Duration) {
 			return
 		}
 		if a.debt.CompareAndSwap(cur, 0) {
+			traced := trace.Active(ctx)
+			var start time.Time
+			if traced {
+				start = time.Now()
+			}
 			time.Sleep(time.Duration(cur))
 			a.stalls.Add(1)
 			a.stallNanos.Add(cur)
+			if traced {
+				trace.RecordSpan(ctx, "iosim.stall", start, time.Since(start),
+					trace.Attr{Key: "pooled_ns", Val: cur})
+			}
+			trace.Add(ctx, trace.CtrStalls, 1)
+			trace.Add(ctx, trace.CtrStallNanos, cur)
 			return
 		}
 	}
@@ -241,9 +265,40 @@ func (a *Accountant) Open(path string) (*File, error) {
 // ReadAt reads len(p) bytes at offset off, recording the access (and,
 // under SetPace, stalling the caller for its modeled cost).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	return f.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt with request-scoped observability: when ctx
+// carries an execution trace, the read records an "iosim.read" span
+// (bytes, whether a seek was charged, the paced cost) and bumps the
+// per-request I/O counters; any paced stall it triggers becomes an
+// "iosim.stall" span. Untraced contexts add a nil check and nothing
+// else.
+func (f *File) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	traced := trace.Active(ctx)
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	n, err := f.f.ReadAt(p, off)
 	if n > 0 {
-		f.acc.stall(f.acc.record(f.id, off, n))
+		pause, seeked := f.acc.record(f.id, off, n)
+		if traced {
+			seek := int64(0)
+			if seeked {
+				seek = 1
+			}
+			trace.RecordSpan(ctx, "iosim.read", start, time.Since(start),
+				trace.Attr{Key: "bytes", Val: int64(n)},
+				trace.Attr{Key: "seek", Val: seek},
+				trace.Attr{Key: "paced_ns", Val: int64(pause)})
+			trace.Add(ctx, trace.CtrReads, 1)
+			trace.Add(ctx, trace.CtrBytesRead, int64(n))
+			if seeked {
+				trace.Add(ctx, trace.CtrSeeks, 1)
+			}
+		}
+		f.acc.stallCtx(ctx, pause)
 	}
 	return n, err
 }

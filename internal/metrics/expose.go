@@ -54,7 +54,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%g", float64(h.Bounds[i])/float64(time.Second))
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", k, le, cum); err != nil {
+			// OpenMetrics-style exemplar suffix: the retained trace ID of
+			// the last request that landed in this bucket.
+			ex := ""
+			if i < len(h.Exemplars) && h.Exemplars[i] != 0 {
+				ex = fmt.Sprintf(" # {trace_id=\"%d\"}", h.Exemplars[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", k, le, cum, ex); err != nil {
 				return err
 			}
 		}
@@ -86,6 +92,9 @@ type histJSON struct {
 	P99    int64   `json:"p99"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
+	// Exemplars are per-bucket retained trace IDs (0 = none); omitted
+	// when no bucket carries one.
+	Exemplars []uint64 `json:"exemplars,omitempty"`
 }
 
 // WriteJSON dumps the snapshot as one indented JSON object — the form
@@ -94,11 +103,18 @@ type histJSON struct {
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	hists := make(map[string]histJSON, len(s.Histograms))
 	for k, h := range s.Histograms {
-		hists[k] = histJSON{
+		j := histJSON{
 			Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
 			P50: h.P50(), P95: h.P95(), P99: h.P99(),
 			Bounds: h.Bounds, Counts: h.Counts,
 		}
+		for _, e := range h.Exemplars {
+			if e != 0 {
+				j.Exemplars = h.Exemplars
+				break
+			}
+		}
+		hists[k] = j
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

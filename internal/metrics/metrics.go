@@ -80,11 +80,18 @@ var DefaultLatencyBuckets = []int64{
 // Histogram counts observations into fixed buckets. Observe is
 // allocation-free; quantile estimates come from Snapshot. The last
 // implicit bucket is +Inf, so no observation is ever dropped.
+//
+// Each bucket also carries an exemplar slot: the trace ID of the last
+// observation recorded into it through ObserveExemplar. Exemplars link
+// the aggregate view to the request-scoped one — "p99 is 40ms" in a
+// tail bucket points at a concrete retained trace whose span tree
+// explains the latency (internal/trace's slow-query log keeps it).
 type Histogram struct {
-	bounds []int64 // sorted upper bounds; immutable after construction
-	counts []atomic.Int64
-	sum    atomic.Int64
-	count  atomic.Int64
+	bounds    []int64 // sorted upper bounds; immutable after construction
+	counts    []atomic.Int64
+	exemplars []atomic.Uint64 // last trace ID per bucket; 0 = none
+	sum       atomic.Int64
+	count     atomic.Int64
 }
 
 // NewHistogram builds a histogram over the given sorted bucket upper
@@ -97,13 +104,16 @@ func NewHistogram(bounds []int64) *Histogram {
 	b := make([]int64, len(bounds))
 	copy(b, bounds)
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
-// Observe records one value (for latency histograms, nanoseconds).
-func (h *Histogram) Observe(v int64) {
-	// Binary search: bounds are few and fixed, so this is a handful of
-	// compares with no allocation.
+// bucketIdx locates v's bucket by binary search: bounds are few and
+// fixed, so this is a handful of compares with no allocation.
+func (h *Histogram) bucketIdx(v int64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -113,9 +123,28 @@ func (h *Histogram) Observe(v int64) {
 			hi = mid
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one value (for latency histograms, nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	h.counts[h.bucketIdx(v)].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar is Observe plus an exemplar: when traceID is nonzero
+// it is stored in the observation's bucket (last write wins), so the
+// bucket can name one concrete request that landed in it. With
+// traceID 0 (an unsampled request) it costs the same as Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	idx := h.bucketIdx(v)
+	h.counts[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != 0 {
+		h.exemplars[idx].Store(traceID)
+	}
 }
 
 // ObserveDuration records a time.Duration.
@@ -128,22 +157,47 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 type HistSnapshot struct {
 	Bounds []int64 // bucket upper bounds; Counts has one extra +Inf slot
 	Counts []int64
-	Count  int64
-	Sum    int64
+	// Exemplars holds, per bucket, the trace ID of the last exemplar-
+	// carrying observation (0 = none) — the aggregate→trace pointer.
+	Exemplars []uint64
+	Count     int64
+	Sum       int64
 }
 
 // Snapshot copies the histogram's counters.
 func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]int64, len(h.counts)),
+		Bounds:    h.bounds,
+		Counts:    make([]int64, len(h.counts)),
+		Exemplars: make([]uint64, len(h.exemplars)),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		s.Exemplars[i] = h.exemplars[i].Load()
+	}
 	s.Count = h.count.Load()
 	s.Sum = h.sum.Load()
 	return s
+}
+
+// TailExemplar returns the trace ID in the highest occupied bucket
+// that carries one (the p99-side pointer), or 0 when no exemplar has
+// been recorded. This is what "pull the trace behind the tail" reads.
+func (s HistSnapshot) TailExemplar() (bound int64, traceID uint64) {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 && i < len(s.Exemplars) && s.Exemplars[i] != 0 {
+			b := int64(0)
+			if i < len(s.Bounds) {
+				b = s.Bounds[i]
+			} else if len(s.Bounds) > 0 {
+				b = s.Bounds[len(s.Bounds)-1]
+			}
+			return b, s.Exemplars[i]
+		}
+	}
+	return 0, 0
 }
 
 // Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound

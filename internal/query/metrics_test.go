@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"snode/internal/metrics"
@@ -32,10 +33,10 @@ func TestQueryMetricsRecorded(t *testing.T) {
 	reg := metrics.NewRegistry()
 	e.SetMetrics(reg)
 
-	if _, err := e.RunAll(); err != nil {
+	if _, err := e.RunAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunAllParallel(4); err != nil {
+	if _, err := e.RunAllParallel(context.Background(), 4); err != nil {
 		t.Fatal(err)
 	}
 

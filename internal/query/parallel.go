@@ -1,6 +1,9 @@
 package query
 
 import (
+	"context"
+	"time"
+
 	"snode/internal/workpool"
 )
 
@@ -23,7 +26,13 @@ func (e *Engine) Shared() *Engine {
 // be safe for concurrent use. Rows are deterministic — each query sorts
 // its output — so results match a serial Run of the same queries; only
 // the NavStats differ (wall time only, see Shared).
-func (e *Engine) RunParallel(qs []ID, workers int) ([]*Result, error) {
+//
+// Cancelling ctx stops dispatch of further queries and interrupts the
+// in-flight ones at their next store access; the context's error is
+// returned when it cut the batch short. Sampled executions get their
+// time spent waiting for a pool worker recorded as a queue_wait_ns
+// attribute on the trace root.
+func (e *Engine) RunParallel(ctx context.Context, qs []ID, workers int) ([]*Result, error) {
 	sh := e.Shared()
 	out := make([]*Result, len(qs))
 	pool := workpool.New(workers)
@@ -32,10 +41,17 @@ func (e *Engine) RunParallel(qs []ID, workers int) ([]*Result, error) {
 		// scrape time, and how many queries the pool has completed.
 		pool.Instrument(e.reg.Gauge("workpool_busy"), e.reg.Counter("workpool_queries"))
 	}
-	err := pool.ForEach(len(qs), func(i int) error {
-		r, err := sh.Run(qs[i])
+	batchStart := time.Now()
+	err := pool.ForEachCtx(ctx, len(qs), func(ctx context.Context, i int) error {
+		wait := time.Since(batchStart)
+		r, err := sh.Run(ctx, qs[i])
 		if err != nil {
 			return err
+		}
+		if r.Trace != nil {
+			// The trace starts inside Run, after the queue wait has
+			// already elapsed; attribute it on the root after the fact.
+			r.Trace.SetAttr("queue_wait_ns", int64(wait))
 		}
 		out[i] = r
 		return nil
@@ -47,6 +63,6 @@ func (e *Engine) RunParallel(qs []ID, workers int) ([]*Result, error) {
 }
 
 // RunAllParallel executes the six Table 3 queries concurrently.
-func (e *Engine) RunAllParallel(workers int) ([]*Result, error) {
-	return e.RunParallel(All(), workers)
+func (e *Engine) RunAllParallel(ctx context.Context, workers int) ([]*Result, error) {
+	return e.RunParallel(ctx, All(), workers)
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -46,11 +47,11 @@ func TestParallelEqualsSerialAcrossSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial, err := e.RunAll()
+		serial, err := e.RunAll(context.Background())
 		if err != nil {
 			t.Fatalf("seed %d: serial: %v", seed, err)
 		}
-		par, err := e.RunAllParallel(4)
+		par, err := e.RunAllParallel(context.Background(), 4)
 		if err != nil {
 			t.Fatalf("seed %d: parallel: %v", seed, err)
 		}
@@ -81,7 +82,7 @@ func TestConcurrentQueryStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.RunAll()
+	baseline, err := e.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestConcurrentQueryStress(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)*31 + 7))
 			for time.Now().Before(deadline) {
 				q := All()[rng.Intn(6)]
-				res, err := sh.Run(q)
+				res, err := sh.Run(context.Background(), q)
 				if err != nil {
 					t.Errorf("Q%d: %v", q, err)
 					return
@@ -134,7 +135,7 @@ func TestRunParallelPreservesOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	qs := []ID{Q6, Q1, Q6, Q2, Q1}
-	out, err := e.RunParallel(qs, 3)
+	out, err := e.RunParallel(context.Background(), qs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

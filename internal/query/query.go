@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"snode/internal/repo"
 	"snode/internal/store"
 	"snode/internal/synth"
+	"snode/internal/trace"
 	"snode/internal/webgraph"
 )
 
@@ -79,6 +81,10 @@ type Result struct {
 	Scheme string
 	Rows   []Row
 	Nav    NavStats
+	// Trace is the finished execution trace when this run was sampled
+	// by the engine's tracer (nil otherwise). It is already offered to
+	// the tracer's slow-query log; callers may render or export it.
+	Trace *trace.Trace
 }
 
 // Engine executes queries for one scheme over a repository.
@@ -102,6 +108,16 @@ type Engine struct {
 	resolveHist *metrics.Histogram
 	navHist     *metrics.Histogram
 	reg         *metrics.Registry
+
+	// tracer, wired by SetTracer (nil without), samples executions into
+	// request-scoped traces; Shared copies record into the same tracer.
+	tracer *trace.Tracer
+
+	// fwdCtx/revCtx cache the one-time type assertion to the stores'
+	// optional context-aware read path (store.ContextLinkStore; nil when
+	// the scheme — any of the flat baselines — does not provide it).
+	fwdCtx store.ContextLinkStore
+	revCtx store.ContextLinkStore
 }
 
 // New returns an engine bound to a scheme built in the repository.
@@ -109,8 +125,26 @@ func New(r *repo.Repository, scheme string) (*Engine, error) {
 	if _, ok := r.Fwd[scheme]; !ok {
 		return nil, fmt.Errorf("query: scheme %q not built", scheme)
 	}
-	return &Engine{R: r, Scheme: scheme}, nil
+	e := &Engine{R: r, Scheme: scheme}
+	e.fwdCtx, _ = e.fwd().(store.ContextLinkStore)
+	e.revCtx, _ = e.rev().(store.ContextLinkStore)
+	return e, nil
 }
+
+// SetTracer attaches a sampling tracer: every subsequent Run consults
+// it, and sampled executions build a span tree through the engine, the
+// S-Node reader, the buffer manager, and the I/O simulator, finished
+// into the tracer's slow-query log. Engines derived via Shared (and
+// therefore RunParallel) sample into the same tracer. Call before
+// serving; nil disables.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the tracer wired by SetTracer (nil without).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// classNames are the slow-query-log classes, one per Table 3 query —
+// a static table so the untraced hot path never formats a string.
+var classNames = [Q6 + 1]string{"", "q1", "q2", "q3", "q4", "q5", "q6"}
 
 // SetMetrics wires the engine's executions into a registry: a latency
 // histogram per query ID (query_latency_q1 .. query_latency_q6) and the
@@ -126,21 +160,38 @@ func (e *Engine) SetMetrics(reg *metrics.Registry) {
 	e.navHist = reg.Histogram("query_nav_seconds", nil)
 }
 
-// Run executes one query.
-func (e *Engine) Run(q ID) (*Result, error) {
+// Run executes one query. The context propagates through the whole
+// execution — navigation loops stop promptly when it is cancelled —
+// and, when a tracer is wired and samples this run, carries the
+// execution trace down into the reader, cache, and I/O layers.
+func (e *Engine) Run(ctx context.Context, q ID) (*Result, error) {
 	switch q {
 	case Q3, Q4, Q5:
 		if e.rev() == nil {
 			return nil, fmt.Errorf("query: Q%d needs in-neighborhood navigation; build the repository with Transpose", q)
 		}
 	}
+	var tr *trace.Trace
+	if e.tracer != nil && q >= Q1 && q <= Q6 {
+		ctx, tr = e.tracer.StartRequest(ctx, classNames[q])
+	}
 	start := time.Now()
-	r, err := e.run(q)
+	r, err := e.run(ctx, q)
+	var traceID uint64
+	if tr != nil {
+		// Finish before publishing the exemplar: a scrape that sees the
+		// trace ID in a histogram bucket must be able to look it up.
+		e.tracer.Finish(tr)
+		traceID = tr.ID
+		if r != nil {
+			r.Trace = tr
+		}
+	}
 	if err != nil || e.qHist[q] == nil {
 		return r, err
 	}
 	total := time.Since(start)
-	e.qHist[q].ObserveDuration(total)
+	e.qHist[q].ObserveExemplar(int64(total), traceID)
 	e.navHist.ObserveDuration(r.Nav.CPU)
 	if resolve := total - r.Nav.CPU; resolve > 0 {
 		e.resolveHist.ObserveDuration(resolve)
@@ -149,29 +200,29 @@ func (e *Engine) Run(q ID) (*Result, error) {
 }
 
 // run dispatches to the query implementations.
-func (e *Engine) run(q ID) (*Result, error) {
+func (e *Engine) run(ctx context.Context, q ID) (*Result, error) {
 	switch q {
 	case Q1:
-		return e.q1()
+		return e.q1(ctx)
 	case Q2:
-		return e.q2()
+		return e.q2(ctx)
 	case Q3:
-		return e.q3()
+		return e.q3(ctx)
 	case Q4:
-		return e.q4()
+		return e.q4(ctx)
 	case Q5:
-		return e.q5()
+		return e.q5(ctx)
 	case Q6:
-		return e.q6()
+		return e.q6(ctx)
 	}
 	return nil, fmt.Errorf("query: unknown query %d", q)
 }
 
 // RunAll executes the six queries in order.
-func (e *Engine) RunAll() ([]*Result, error) {
+func (e *Engine) RunAll(ctx context.Context) ([]*Result, error) {
 	var out []*Result
 	for _, q := range All() {
-		r, err := e.Run(q)
+		r, err := e.Run(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -183,14 +234,51 @@ func (e *Engine) RunAll() ([]*Result, error) {
 func (e *Engine) fwd() store.LinkStore { return e.R.Fwd[e.Scheme] }
 func (e *Engine) rev() store.LinkStore { return e.R.Rev[e.Scheme] }
 
-// nav times a navigation closure over the scheme's stores.
-func (e *Engine) nav(fn func() error) (NavStats, error) {
+// fwdOut is the engine's single forward-navigation access point: it
+// checks for cancellation, then routes through the scheme's
+// context-aware read path when the store provides one (S-Node), so the
+// request's trace and cancellation reach the reader; the flat
+// baselines keep the plain interface. A nil filter means the full
+// adjacency.
+func (e *Engine) fwdOut(ctx context.Context, p webgraph.PageID, f *store.Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	if err := ctx.Err(); err != nil {
+		return buf, err
+	}
+	if e.fwdCtx != nil {
+		return e.fwdCtx.OutFilteredCtx(ctx, p, f, buf)
+	}
+	if f == nil {
+		return e.fwd().Out(p, buf)
+	}
+	return e.fwd().OutFiltered(p, f, buf)
+}
+
+// revOut is fwdOut over the transposed graph.
+func (e *Engine) revOut(ctx context.Context, p webgraph.PageID, f *store.Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	if err := ctx.Err(); err != nil {
+		return buf, err
+	}
+	if e.revCtx != nil {
+		return e.revCtx.OutFilteredCtx(ctx, p, f, buf)
+	}
+	if f == nil {
+		return e.rev().Out(p, buf)
+	}
+	return e.rev().OutFiltered(p, f, buf)
+}
+
+// nav times a navigation closure over the scheme's stores. On traced
+// requests the whole navigation component becomes a "nav" span — the
+// timed part of the query, as distinct from index resolution.
+func (e *Engine) nav(ctx context.Context, fn func(ctx context.Context) error) (NavStats, error) {
+	ctx, sp := trace.Start(ctx, "nav")
+	defer sp.End()
 	if e.shared {
 		// Shared stores: resetting stats would clobber concurrent
 		// streams, and the accountant's counters mix all of them, so a
 		// shared engine reports wall time only.
 		start := time.Now()
-		err := fn()
+		err := fn(ctx)
 		return NavStats{CPU: time.Since(start)}, err
 	}
 	fwd := e.fwd()
@@ -200,7 +288,7 @@ func (e *Engine) nav(fn func() error) (NavStats, error) {
 		rev.ResetStats()
 	}
 	start := time.Now()
-	err := fn()
+	err := fn(ctx)
 	cpu := time.Since(start)
 	st := fwd.Stats()
 	if rev != nil {
@@ -245,16 +333,16 @@ func sortRows(rows []Row) {
 
 // q1 — Analysis 1: weighted list of .edu domains referenced by Stanford
 // pages about mobile networking.
-func (e *Engine) q1() (*Result, error) {
+func (e *Engine) q1(ctx context.Context) (*Result, error) {
 	s := e.phraseInDomain(synth.PhraseMobileNetworking, "stanford.edu")
 	eduSet := e.R.EduDomains("stanford.edu")
 	filter := &store.Filter{Domains: eduSet}
 	weights := map[string]float64{}
 	var buf []webgraph.PageID
-	nav, err := e.nav(func() error {
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
 		for _, p := range s {
 			var err error
-			buf, err = e.fwd().OutFiltered(p, filter, buf[:0])
+			buf, err = e.fwdOut(ctx, p, filter, buf[:0])
 			if err != nil {
 				return err
 			}
@@ -282,7 +370,7 @@ func (e *Engine) q1() (*Result, error) {
 }
 
 // q2 — Analysis 2: popularity C1+C2 per comic strip.
-func (e *Engine) q2() (*Result, error) {
+func (e *Engine) q2(ctx context.Context) (*Result, error) {
 	comics := synth.Comics()
 	dr, ok := e.domainRange("stanford.edu")
 	if !ok {
@@ -308,10 +396,10 @@ func (e *Engine) q2() (*Result, error) {
 	c2 := map[string]int{}
 	filter := &store.Filter{Domains: sites}
 	var buf []webgraph.PageID
-	nav, err := e.nav(func() error {
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
 		for p := dr.Lo; p < dr.Hi; p++ {
 			var err error
-			buf, err = e.fwd().OutFiltered(p, filter, buf[:0])
+			buf, err = e.fwdOut(ctx, p, filter, buf[:0])
 			if err != nil {
 				return err
 			}
@@ -336,7 +424,7 @@ func (e *Engine) q2() (*Result, error) {
 const kleinbergInCap = 50
 
 // q3 — Kleinberg base set: S ∪ out(S) ∪ in(S).
-func (e *Engine) q3() (*Result, error) {
+func (e *Engine) q3(ctx context.Context) (*Result, error) {
 	l := e.R.Text.Lookup(synth.PhraseInternetCensorship)
 	s := pagerank.TopK(e.R.PageRank, l, 100)
 	// Navigate in page-ID order (sort the fetch set before touching the
@@ -348,17 +436,17 @@ func (e *Engine) q3() (*Result, error) {
 		base[p] = true
 	}
 	var buf []webgraph.PageID
-	nav, err := e.nav(func() error {
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
 		for _, p := range s {
 			var err error
-			buf, err = e.fwd().Out(p, buf[:0])
+			buf, err = e.fwdOut(ctx, p, nil, buf[:0])
 			if err != nil {
 				return err
 			}
 			for _, t := range buf {
 				base[t] = true
 			}
-			buf, err = e.rev().Out(p, buf[:0])
+			buf, err = e.revOut(ctx, p, nil, buf[:0])
 			if err != nil {
 				return err
 			}
@@ -382,17 +470,17 @@ func (e *Engine) q3() (*Result, error) {
 
 // q4 — per-university top-10 quantum-cryptography pages by external
 // in-links.
-func (e *Engine) q4() (*Result, error) {
+func (e *Engine) q4(ctx context.Context) (*Result, error) {
 	var rows []Row
 	var navTotal NavStats
 	var buf []webgraph.PageID
 	for _, uni := range synth.Universities() {
 		s := e.phraseInDomain(synth.PhraseQuantumCryptography, uni)
 		pop := map[webgraph.PageID]int{}
-		nav, err := e.nav(func() error {
+		nav, err := e.nav(ctx, func(ctx context.Context) error {
 			for _, p := range s {
 				var err error
-				buf, err = e.rev().Out(p, buf[:0])
+				buf, err = e.revOut(ctx, p, nil, buf[:0])
 				if err != nil {
 					return err
 				}
@@ -427,7 +515,7 @@ func (e *Engine) q4() (*Result, error) {
 }
 
 // q5 — computer-music pages ranked by in-links from within the set.
-func (e *Engine) q5() (*Result, error) {
+func (e *Engine) q5(ctx context.Context) (*Result, error) {
 	s := e.R.Text.Lookup(synth.PhraseComputerMusic)
 	inSet := map[webgraph.PageID]bool{}
 	for _, p := range s {
@@ -436,10 +524,10 @@ func (e *Engine) q5() (*Result, error) {
 	filter := &store.Filter{Pages: inSet}
 	counts := map[webgraph.PageID]int{}
 	var buf []webgraph.PageID
-	nav, err := e.nav(func() error {
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
 		for _, p := range s {
 			var err error
-			buf, err = e.rev().OutFiltered(p, filter, buf[:0])
+			buf, err = e.revOut(ctx, p, filter, buf[:0])
 			if err != nil {
 				return err
 			}
@@ -465,16 +553,16 @@ func (e *Engine) q5() (*Result, error) {
 
 // q6 — pages cited by both Stanford and Berkeley interferometry pages,
 // ranked by total citations from S1 ∪ S2.
-func (e *Engine) q6() (*Result, error) {
+func (e *Engine) q6(ctx context.Context) (*Result, error) {
 	s1 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "stanford.edu")
 	s2 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "berkeley.edu")
 	type cnt struct{ a, b int }
 	counts := map[webgraph.PageID]*cnt{}
 	var buf []webgraph.PageID
-	collect := func(src []webgraph.PageID, first bool) error {
+	collect := func(ctx context.Context, src []webgraph.PageID, first bool) error {
 		for _, p := range src {
 			var err error
-			buf, err = e.fwd().Out(p, buf[:0])
+			buf, err = e.fwdOut(ctx, p, nil, buf[:0])
 			if err != nil {
 				return err
 			}
@@ -497,11 +585,11 @@ func (e *Engine) q6() (*Result, error) {
 		}
 		return nil
 	}
-	nav, err := e.nav(func() error {
-		if err := collect(s1, true); err != nil {
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		if err := collect(ctx, s1, true); err != nil {
 			return err
 		}
-		return collect(s2, false)
+		return collect(ctx, s2, false)
 	})
 	if err != nil {
 		return nil, err

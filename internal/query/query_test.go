@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func TestAllQueriesReturnResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.RunAll()
+	results, err := e.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestSchemesAgreeOnResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.RunAll()
+	want, err := ref.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestSchemesAgreeOnResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := e.RunAll()
+		got, err := e.RunAll(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
@@ -96,7 +97,7 @@ func TestSchemesAgreeOnResults(t *testing.T) {
 func TestQ1RanksEduDomains(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q1)
+	res, err := e.Run(context.Background(), Q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestQ1RanksEduDomains(t *testing.T) {
 func TestQ2CoversAllComics(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q2)
+	res, err := e.Run(context.Background(), Q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestQ2CoversAllComics(t *testing.T) {
 func TestQ3BaseSetLargerThanRoot(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q3)
+	res, err := e.Run(context.Background(), Q3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestQ3BaseSetLargerThanRoot(t *testing.T) {
 func TestQ4AtMostTenPerUniversity(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q4)
+	res, err := e.Run(context.Background(), Q4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestQ4AtMostTenPerUniversity(t *testing.T) {
 func TestQ5OnlyEduPages(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q5)
+	res, err := e.Run(context.Background(), Q5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestQ5OnlyEduPages(t *testing.T) {
 func TestQ6RequiresBothCiters(t *testing.T) {
 	r := getRepo(t)
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q6)
+	res, err := e.Run(context.Background(), Q6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestSNodeNavigationBeatsFlatFiles(t *testing.T) {
 
 	sn, _ := New(r, repo.SchemeSNode)
 	ff, _ := New(r, repo.SchemeFiles)
-	snRes, err := sn.RunAll()
+	snRes, err := sn.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ffRes, err := ff.RunAll()
+	ffRes, err := ff.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,13 +274,13 @@ func TestTransposeRequiredQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range []ID{Q3, Q4, Q5} {
-		if _, err := e.Run(q); err == nil {
+		if _, err := e.Run(context.Background(), q); err == nil {
 			t.Errorf("Q%d without transpose did not error", q)
 		}
 	}
 	// Forward-only queries still work.
 	for _, q := range []ID{Q1, Q2, Q6} {
-		if _, err := e.Run(q); err != nil {
+		if _, err := e.Run(context.Background(), q); err != nil {
 			t.Errorf("Q%d without transpose failed: %v", q, err)
 		}
 	}
@@ -317,7 +318,7 @@ func TestQ1AgainstBruteForce(t *testing.T) {
 		}
 	}
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q1)
+	res, err := e.Run(context.Background(), Q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestQ2AgainstBruteForce(t *testing.T) {
 		want[comic.Name] = float64(c1 + c2)
 	}
 	e, _ := New(r, repo.SchemeSNode)
-	res, err := e.Run(Q2)
+	res, err := e.Run(context.Background(), Q2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,254 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snode/internal/metrics"
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/trace"
+)
+
+// coldEngine returns an engine over the shared test repository with the
+// S-Node caches dropped, so the next query pays real (simulated) I/O and
+// the trace covers the full decode path.
+func coldEngine(t *testing.T) *Engine {
+	t.Helper()
+	r := getRepo(t)
+	for _, s := range []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]} {
+		if cr, ok := s.(store.CacheResetter); ok {
+			cr.ResetCache(16 << 20)
+		}
+	}
+	e, err := New(r, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// spanNames flattens the exported span tree into a name set.
+func spanNames(n *trace.SpanJSON, into map[string]int) {
+	if n == nil {
+		return
+	}
+	into[n.Name]++
+	for _, c := range n.Children {
+		spanNames(c, into)
+	}
+}
+
+// TestTracedRunSpanTree is the tentpole's end-to-end check: a sampled
+// query must produce a span tree that reaches from the engine stage
+// through the S-Node reader's span reads into cache decodes and
+// simulated disk reads, with the request counters populated, and the
+// trace must be retrievable from the tracer afterwards (the
+// /debug/traces lookup path).
+func TestTracedRunSpanTree(t *testing.T) {
+	e := coldEngine(t)
+	tr := trace.New(trace.Config{SampleEvery: 1})
+	e.SetTracer(tr)
+
+	res, err := e.Run(context.Background(), Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("SampleEvery=1 run returned no trace")
+	}
+	if got := tr.Get(res.Trace.ID); got != res.Trace {
+		t.Fatalf("tracer.Get(%d) = %p, want the run's trace %p", res.Trace.ID, got, res.Trace)
+	}
+
+	js := res.Trace.JSON()
+	if js.Class != "q1" {
+		t.Fatalf("trace class %q, want q1", js.Class)
+	}
+	names := map[string]int{}
+	spanNames(js.Root, names)
+	for _, want := range []string{"q1", "nav", "snode.read_span", "cache.decode", "iosim.read"} {
+		if names[want] == 0 {
+			t.Errorf("span tree missing %q (got %v)", want, names)
+		}
+	}
+	for _, ctr := range []int{trace.CtrLookups, trace.CtrCacheMisses, trace.CtrDecodes, trace.CtrReads, trace.CtrBytesRead} {
+		if v := res.Trace.Counter(ctr); v <= 0 {
+			t.Errorf("counter %s = %d, want > 0 on a cold run", trace.CtrNames[ctr], v)
+		}
+	}
+	if res.Trace.Total() <= 0 {
+		t.Error("finished trace has non-positive total")
+	}
+
+	// The same trace must export cleanly as Chrome trace_event JSON.
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, res.Trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"traceEvents"`) || !strings.Contains(out, "snode.read_span") {
+		t.Errorf("chrome export missing expected content:\n%s", out)
+	}
+
+	// A warm re-run of the same query must coalesce into cache hits.
+	res2, err := e.Run(context.Background(), Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := res2.Trace.Counter(trace.CtrCacheHits); hits <= 0 {
+		t.Errorf("warm re-run saw %d cache hits, want > 0", hits)
+	}
+}
+
+// TestExemplarLinksHistogramToTrace checks the metrics bridge: the
+// latency histogram's tail bucket must carry the trace ID of a sampled
+// slow run, and that ID must resolve through the tracer — the
+// "histogram tail → /debug/traces?id=N" workflow.
+func TestExemplarLinksHistogramToTrace(t *testing.T) {
+	e := coldEngine(t)
+	tr := trace.New(trace.Config{SampleEvery: 1})
+	e.SetTracer(tr)
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+
+	res, err := e.Run(context.Background(), Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace on sampled run")
+	}
+
+	h, ok := reg.Snapshot().Histograms["query_latency_q2"]
+	if !ok {
+		t.Fatal("query_latency_q2 histogram not registered")
+	}
+	bound, id := h.TailExemplar()
+	if id == 0 {
+		t.Fatal("tail bucket carries no exemplar trace ID")
+	}
+	if id != res.Trace.ID {
+		t.Fatalf("tail exemplar id=%d, want the run's trace %d", id, res.Trace.ID)
+	}
+	if bound <= 0 {
+		t.Errorf("tail exemplar bucket bound %d, want > 0", bound)
+	}
+	if tr.Get(id) == nil {
+		t.Fatalf("exemplar trace %d not retained in the slow-query log", id)
+	}
+}
+
+// TestUntracedTracingAddsNoAllocs is the overhead guard from the issue:
+// attaching a tracer that never samples must add zero allocations per
+// query over the PR 2 baseline (no tracer at all). Both measurements
+// run on a warm cache so the only difference is the tracing plumbing.
+func TestUntracedTracingAddsNoAllocs(t *testing.T) {
+	e := coldEngine(t)
+	ctx := context.Background()
+	if _, err := e.Run(ctx, Q1); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+
+	base := testing.AllocsPerRun(10, func() {
+		if _, err := e.Run(ctx, Q1); err != nil {
+			t.Error(err)
+		}
+	})
+	e.SetTracer(trace.New(trace.Config{SampleEvery: 1 << 30}))
+	withTracer := testing.AllocsPerRun(10, func() {
+		if _, err := e.Run(ctx, Q1); err != nil {
+			t.Error(err)
+		}
+	})
+	if delta := withTracer - base; delta > 0.5 {
+		t.Fatalf("unsampled tracing adds %.1f allocs/query (%.1f -> %.1f), want 0",
+			delta, base, withTracer)
+	}
+}
+
+// BenchmarkRunUntraced / BenchmarkRunUnsampled are the bench-trajectory
+// pair: compare allocs/op with `go test -bench 'BenchmarkRun' -benchmem`
+// to confirm the untraced serving path is unchanged.
+func BenchmarkRunUntraced(b *testing.B) {
+	e := benchEngine(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), Q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunUnsampled(b *testing.B) {
+	e := benchEngine(b, trace.New(trace.Config{SampleEvery: 1 << 30}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), Q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B, tr *trace.Tracer) *Engine {
+	b.Helper()
+	e, err := New(getRepo(b), repo.SchemeSNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tr != nil {
+		e.SetTracer(tr)
+	}
+	if _, err := e.Run(context.Background(), Q1); err != nil { // warm
+		b.Fatal(err)
+	}
+	return e
+}
+
+// TestRunParallelPreCancelled: a batch submitted on an already-dead
+// context must return its error immediately without running anything.
+func TestRunParallelPreCancelled(t *testing.T) {
+	e := coldEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := e.RunParallel(ctx, All(), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled batch returned results: %v", res)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("pre-cancelled batch took %v to return", el)
+	}
+}
+
+// TestRunParallelCancelledMidBatch: cancellation during a large batch
+// must interrupt in-flight queries at their next store access and
+// return promptly — queries do not run to completion first.
+func TestRunParallelCancelledMidBatch(t *testing.T) {
+	e := coldEngine(t)
+	// 48 cold queries; a 2ms deadline lands mid-batch with huge margin.
+	var qs []ID
+	for i := 0; i < 8; i++ {
+		qs = append(qs, All()...)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RunParallel(ctx, qs, 2)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled batch took %v to return", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package snode
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -108,7 +109,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 					for i := range ps {
 						ps[i] = webgraph.PageID(rng.Int31n(n))
 					}
-					lists, err := r.ParallelNeighbors(ps, 2)
+					lists, err := r.ParallelNeighbors(context.Background(), ps, 2)
 					if err != nil {
 						t.Errorf("ParallelNeighbors: %v", err)
 						return
@@ -221,7 +222,7 @@ func TestParallelNeighborsMatchesSerial(t *testing.T) {
 		ps = append(ps, p)
 	}
 	for _, workers := range []int{1, 4, 32} {
-		lists, err := r.ParallelNeighbors(ps, workers)
+		lists, err := r.ParallelNeighbors(context.Background(), ps, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -254,7 +255,7 @@ func TestParallelNeighborsFilteredMatchesSerial(t *testing.T) {
 	for p := int32(0); int(p) < c.Graph.NumPages(); p += 41 {
 		ps = append(ps, p)
 	}
-	lists, err := r.ParallelNeighborsFiltered(ps, f, 4)
+	lists, err := r.ParallelNeighborsFiltered(context.Background(), ps, f, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

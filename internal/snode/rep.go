@@ -1,6 +1,7 @@
 package snode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"snode/internal/iosim"
 	"snode/internal/metrics"
 	"snode/internal/store"
+	"snode/internal/trace"
 	"snode/internal/webgraph"
 	"snode/internal/workpool"
 )
@@ -212,14 +214,41 @@ func (r *Representation) DomainSupernodes(domain string) (lo, hi int32, ok bool)
 // load returns the decoded graph gid, from cache or disk. Concurrent
 // loads of the same graph coalesce onto one decode.
 func (r *Representation) load(gid GraphID) (decodedGraph, error) {
+	return r.loadCtx(context.Background(), gid)
+}
+
+// loadCtx is load with request-scoped context: traced requests record
+// their coalesced waits and led decodes.
+func (r *Representation) loadCtx(ctx context.Context, gid GraphID) (decodedGraph, error) {
 	if g, ok := r.cache.get(gid); ok {
+		trace.Add(ctx, trace.CtrCacheHits, 1)
 		return g, nil
 	}
-	g, err, leader := r.cache.claim(gid)
+	trace.Add(ctx, trace.CtrCacheMisses, 1)
+	g, err, leader := r.claimTraced(ctx, gid)
 	if !leader {
 		return g, err
 	}
-	return r.readDecodeComplete(gid)
+	return r.readDecodeComplete(ctx, gid)
+}
+
+// claimTraced wraps graphCache.claim with trace attribution: a
+// non-leader outcome is a coalesced miss — either found decoded by
+// claim time or waited out another goroutine's in-flight decode — and
+// traced requests record the wait as a "cache.wait" span, so a slow
+// query that lost time blocked behind someone else's decode shows it.
+func (r *Representation) claimTraced(ctx context.Context, gid GraphID) (decodedGraph, error, bool) {
+	if !trace.Active(ctx) {
+		return r.cache.claim(gid)
+	}
+	start := time.Now()
+	g, err, leader := r.cache.claim(gid)
+	if !leader {
+		trace.RecordSpan(ctx, "cache.wait", start, time.Since(start),
+			trace.Attr{Key: "gid", Val: int64(gid)})
+		trace.Add(ctx, trace.CtrCoalesced, 1)
+	}
+	return g, err, leader
 }
 
 // readDecodeComplete performs the leader's half of a claimed decode:
@@ -227,7 +256,7 @@ func (r *Representation) load(gid GraphID) (decodedGraph, error) {
 // any coalesced waiters) whether or not anything failed — including a
 // panicking decode, which the deferred sweep converts into a released
 // flight instead of a permanently blocked waiter set.
-func (r *Representation) readDecodeComplete(gid GraphID) (decodedGraph, error) {
+func (r *Representation) readDecodeComplete(ctx context.Context, gid GraphID) (decodedGraph, error) {
 	e := &r.m.Directory[gid]
 	completed := false
 	defer func() {
@@ -242,13 +271,33 @@ func (r *Representation) readDecodeComplete(gid GraphID) (decodedGraph, error) {
 		bp := getReadBuf(int(e.NumBytes))
 		defer readBufPool.Put(bp)
 		buf := (*bp)[:e.NumBytes]
-		if _, err := r.files[e.File].ReadAt(buf, e.Offset); err != nil {
+		if _, err := r.files[e.File].ReadAtCtx(ctx, buf, e.Offset); err != nil {
 			return nil, fmt.Errorf("snode: read graph %d: %w", gid, err)
 		}
-		return r.decode(gid, buf)
+		return r.decodeTraced(ctx, gid, buf)
 	}()
 	r.cache.complete(gid, g, e.Kind, err)
 	completed = true
+	return g, err
+}
+
+// decodeTraced wraps decode with per-request attribution: the decode
+// becomes a "cache.decode" span marked leader=1 (this request paid for
+// it; coalesced waiters record "cache.wait" instead) with the graph's
+// id, kind, and encoded size.
+func (r *Representation) decodeTraced(ctx context.Context, gid GraphID, buf []byte) (decodedGraph, error) {
+	if !trace.Active(ctx) {
+		return r.decode(gid, buf)
+	}
+	start := time.Now()
+	g, err := r.decode(gid, buf)
+	trace.RecordSpan(ctx, "cache.decode", start, time.Since(start),
+		trace.Attr{Key: "gid", Val: int64(gid)},
+		trace.Attr{Key: "kind", Val: int64(r.m.Directory[gid].Kind)},
+		trace.Attr{Key: "bytes", Val: int64(len(buf))},
+		trace.Attr{Key: "leader", Val: 1})
+	trace.Add(ctx, trace.CtrDecodes, 1)
+	trace.Add(ctx, trace.CtrDecodedBytes, int64(len(buf)))
 	return g, err
 }
 
@@ -284,7 +333,12 @@ func (r *Representation) decode(gid GraphID, buf []byte) (decodedGraph, error) {
 // of p's supernode (the paper's noted trade-off of partitioned
 // adjacency lists).
 func (r *Representation) Out(p webgraph.PageID, buf []webgraph.PageID) ([]webgraph.PageID, error) {
-	return r.OutFiltered(p, nil, buf)
+	return r.OutFilteredCtx(context.Background(), p, nil, buf)
+}
+
+// OutCtx is Out with request-scoped context (tracing, cancellation).
+func (r *Representation) OutCtx(ctx context.Context, p webgraph.PageID, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	return r.OutFilteredCtx(ctx, p, nil, buf)
 }
 
 // OutFiltered implements store.LinkStore. The filter is exploited
@@ -292,6 +346,16 @@ func (r *Representation) Out(p webgraph.PageID, buf []webgraph.PageID) ([]webgra
 // supernode can contain accepted pages, which is how S-Node achieves
 // focused access (§1.2, Requirement 2).
 func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
+	return r.OutFilteredCtx(context.Background(), p, f, buf)
+}
+
+// OutFilteredCtx implements store.ContextLinkStore: OutFiltered with a
+// request-scoped context. When ctx carries an execution trace the
+// lookup attributes its work to the request — graphs consulted, cache
+// hits and misses, coalesced waits behind other goroutines' decodes,
+// span reads and the decodes they led — without a single allocation on
+// the untraced path.
+func (r *Representation) OutFilteredCtx(ctx context.Context, p webgraph.PageID, f *store.Filter, buf []webgraph.PageID) ([]webgraph.PageID, error) {
 	if p < 0 || p >= r.m.NumPages {
 		return buf, fmt.Errorf("snode: page %d out of range", p)
 	}
@@ -388,13 +452,19 @@ func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []w
 			miss = append(miss, ne)
 		}
 	}
+	if trace.Active(ctx) {
+		trace.Add(ctx, trace.CtrLookups, 1)
+		trace.Add(ctx, trace.CtrGraphsNeeded, int64(len(need)))
+		trace.Add(ctx, trace.CtrCacheHits, int64(len(need)-len(miss)))
+		trace.Add(ctx, trace.CtrCacheMisses, int64(len(miss)))
+	}
 	// Pass 2: resolve the misses. Each miss is claimed singleflight-
 	// style: if another goroutine already decoded (or is decoding) the
 	// graph, its result is reused; when this call leads a decode, the
 	// span is extended over subsequent misses it can also lead, so the
 	// §3.3 contiguous layout still collapses into few sequential reads.
 	for k := 0; k < len(miss) && firstErr == nil; {
-		g, err, leader := r.cache.claim(miss[k].gid)
+		g, err, leader := r.claimTraced(ctx, miss[k].gid)
 		if !leader {
 			if err != nil {
 				return buf, err
@@ -434,7 +504,7 @@ func (r *Representation) OutFiltered(p webgraph.PageID, f *store.Filter, buf []w
 		// From this point the call holds claimed in-flight decodes that
 		// coalesced waiters may be blocked on; readDecodeSpan guarantees
 		// every one is completed exactly once on every exit path.
-		if err := r.readDecodeSpan(claimed, spanEnd, process); err != nil {
+		if err := r.readDecodeSpan(ctx, claimed, spanEnd, process); err != nil {
 			return buf, err
 		}
 		k = end
@@ -456,7 +526,7 @@ type needEntry struct {
 // fails, or a decode (or the process callback) panics, no claimed
 // flight is left open — an abandoned flight would block its coalesced
 // waiters forever. The first error is returned after all completions.
-func (r *Representation) readDecodeSpan(claimed []needEntry, spanEnd int64, process func(gid GraphID, j int32, g decodedGraph)) error {
+func (r *Representation) readDecodeSpan(ctx context.Context, claimed []needEntry, spanEnd int64, process func(gid GraphID, j int32, g decodedGraph)) error {
 	first := &r.m.Directory[claimed[0].gid]
 	completed := 0
 	defer func() {
@@ -473,10 +543,17 @@ func (r *Representation) readDecodeSpan(claimed []needEntry, spanEnd int64, proc
 		return err
 	}
 	n := int(spanEnd - first.Offset)
+	// The whole span read + decode run becomes one "snode.read_span"
+	// span on traced requests, parenting the iosim.read and cache.decode
+	// spans it causes.
+	spanCtx, sp := trace.Start(ctx, "snode.read_span")
+	sp.SetAttr("graphs", int64(len(claimed)))
+	sp.SetAttr("bytes", int64(n))
+	defer sp.End()
 	bp := getReadBuf(n)
 	defer readBufPool.Put(bp)
 	rb := (*bp)[:n]
-	if _, err := r.files[first.File].ReadAt(rb, first.Offset); err != nil {
+	if _, err := r.files[first.File].ReadAtCtx(spanCtx, rb, first.Offset); err != nil {
 		readErr := fmt.Errorf("snode: span read: %w", err)
 		for _, ne := range claimed {
 			r.cache.complete(ne.gid, nil, r.m.Directory[ne.gid].Kind, readErr)
@@ -490,7 +567,7 @@ func (r *Representation) readDecodeSpan(claimed []needEntry, spanEnd int64, proc
 	for _, ne := range claimed {
 		e := &r.m.Directory[ne.gid]
 		off := e.Offset - first.Offset
-		g, err := r.decode(ne.gid, rb[off:off+int64(e.NumBytes)])
+		g, err := r.decodeTraced(spanCtx, ne.gid, rb[off:off+int64(e.NumBytes)])
 		r.cache.complete(ne.gid, g, e.Kind, err)
 		completed++
 		if err != nil && decodeErr == nil {
@@ -507,18 +584,21 @@ func (r *Representation) readDecodeSpan(claimed []needEntry, spanEnd int64, proc
 // concurrently over a bounded worker pool (workers <= 0 uses
 // GOMAXPROCS) and returns the per-page lists in input order. Concurrent
 // lookups share the buffer manager: pages of one supernode coalesce
-// onto a single decode of its graphs.
-func (r *Representation) ParallelNeighbors(ps []webgraph.PageID, workers int) ([][]webgraph.PageID, error) {
-	return r.ParallelNeighborsFiltered(ps, nil, workers)
+// onto a single decode of its graphs. The context propagates into
+// every lookup: cancellation stops dispatch of further pages, and a
+// trace carried by ctx attributes the whole batch — including each
+// item's queue wait — to the requesting query.
+func (r *Representation) ParallelNeighbors(ctx context.Context, ps []webgraph.PageID, workers int) ([][]webgraph.PageID, error) {
+	return r.ParallelNeighborsFiltered(ctx, ps, nil, workers)
 }
 
 // ParallelNeighborsFiltered is ParallelNeighbors with a store.Filter
 // applied to every lookup (the batched form of OutFiltered).
-func (r *Representation) ParallelNeighborsFiltered(ps []webgraph.PageID, f *store.Filter, workers int) ([][]webgraph.PageID, error) {
+func (r *Representation) ParallelNeighborsFiltered(ctx context.Context, ps []webgraph.PageID, f *store.Filter, workers int) ([][]webgraph.PageID, error) {
 	out := make([][]webgraph.PageID, len(ps))
-	err := workpool.New(workers).ForEach(len(ps), func(i int) error {
+	err := workpool.New(workers).ForEachCtx(ctx, len(ps), func(ctx context.Context, i int) error {
 		var err error
-		out[i], err = r.OutFiltered(ps[i], f, nil)
+		out[i], err = r.OutFilteredCtx(ctx, ps[i], f, nil)
 		return err
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package store
 
 import (
+	"context"
 	"time"
 
 	"snode/internal/iosim"
@@ -76,6 +77,17 @@ type LinkStore interface {
 	ResetStats()
 	// Close releases files and caches.
 	Close() error
+}
+
+// ContextLinkStore is implemented by stores whose read path accepts a
+// context.Context carrying request-scoped state — execution traces
+// (internal/trace) and cancellation. The query engine routes accesses
+// through it when the scheme provides it (S-Node); the flat baselines
+// keep the plain path. OutFilteredCtx with a background context must
+// behave exactly like OutFiltered (and, with a nil filter, like Out).
+type ContextLinkStore interface {
+	LinkStore
+	OutFilteredCtx(ctx context.Context, p webgraph.PageID, f *Filter, buf []webgraph.PageID) ([]webgraph.PageID, error)
 }
 
 // CacheResetter is implemented by disk-backed stores whose buffer can

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// snapshotSpans copies the span slice under the trace lock so export
+// can walk it without holding writers up.
+func (t *Trace) snapshotSpans() ([]span, int64) {
+	t.mu.Lock()
+	spans := make([]span, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+	return spans, dropped
+}
+
+// SpanJSON is one exported span node.
+type SpanJSON struct {
+	Name     string           `json:"name"`
+	StartNs  int64            `json:"start_ns"`
+	DurNs    int64            `json:"dur_ns"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []*SpanJSON      `json:"children,omitempty"`
+}
+
+// TraceJSON is the /debug/traces detail form of a trace.
+type TraceJSON struct {
+	ID       uint64           `json:"id"`
+	Class    string           `json:"class"`
+	Start    time.Time        `json:"start"`
+	TotalNs  int64            `json:"total_ns"`
+	Dropped  int64            `json:"dropped_spans,omitempty"`
+	Counters map[string]int64 `json:"counters"`
+	Root     *SpanJSON        `json:"root"`
+}
+
+// Summary is the /debug/traces list form of a trace.
+type Summary struct {
+	ID      uint64    `json:"id"`
+	Class   string    `json:"class"`
+	Start   time.Time `json:"start"`
+	TotalNs int64     `json:"total_ns"`
+	Spans   int       `json:"spans"`
+	Seeks   int64     `json:"seeks"`
+	Decodes int64     `json:"decodes"`
+}
+
+// Summary returns the trace's list-view digest.
+func (t *Trace) Summary() Summary {
+	t.mu.Lock()
+	n := len(t.spans)
+	total := t.total
+	t.mu.Unlock()
+	return Summary{
+		ID: t.ID, Class: t.Class, Start: t.Start, TotalNs: int64(total),
+		Spans: n, Seeks: t.Counter(CtrSeeks), Decodes: t.Counter(CtrDecodes),
+	}
+}
+
+func (s *span) attrMap() map[string]int64 {
+	if s.nattrs == 0 {
+		return nil
+	}
+	m := make(map[string]int64, s.nattrs)
+	for i := int32(0); i < s.nattrs; i++ {
+		m[s.attrs[i].Key] = s.attrs[i].Val
+	}
+	return m
+}
+
+// JSON converts the trace to its exported tree form.
+func (t *Trace) JSON() TraceJSON {
+	spans, dropped := t.snapshotSpans()
+	nodes := make([]*SpanJSON, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		dur := s.dur
+		if dur < 0 {
+			dur = 0 // still open at snapshot time
+		}
+		nodes[i] = &SpanJSON{
+			Name:    s.name,
+			StartNs: int64(s.start),
+			DurNs:   int64(dur),
+			Attrs:   s.attrMap(),
+		}
+	}
+	for i := range spans {
+		if p := spans[i].parent; p >= 0 {
+			nodes[p].Children = append(nodes[p].Children, nodes[i])
+		}
+	}
+	ctrs := map[string]int64{}
+	for i := 0; i < NumCounters; i++ {
+		if v := t.Counter(i); v != 0 {
+			ctrs[CtrNames[i]] = v
+		}
+	}
+	return TraceJSON{
+		ID: t.ID, Class: t.Class, Start: t.Start,
+		TotalNs: int64(t.Total()), Dropped: dropped,
+		Counters: ctrs, Root: nodes[0],
+	}
+}
+
+// Render writes the span tree as indented text (the snquery -trace
+// view): offsets, durations, and attributes per span, then the
+// per-request counters.
+func (t *Trace) Render(w io.Writer) {
+	spans, dropped := t.snapshotSpans()
+	children := make([][]int32, len(spans))
+	for i := range spans {
+		if p := spans[i].parent; p >= 0 {
+			children[p] = append(children[p], int32(i))
+		}
+	}
+	fmt.Fprintf(w, "trace %d [%s] total %v\n", t.ID, t.Class, t.Total().Round(time.Microsecond))
+	var walk func(idx int32, depth int)
+	walk = func(idx int32, depth int) {
+		s := &spans[idx]
+		for i := 0; i < depth; i++ {
+			io.WriteString(w, "  ")
+		}
+		dur := s.dur
+		open := ""
+		if dur < 0 {
+			dur, open = 0, " (open)"
+		}
+		fmt.Fprintf(w, "%-20s +%-12v %v%s", s.name,
+			s.start.Round(time.Microsecond), dur.Round(time.Microsecond), open)
+		for i := int32(0); i < s.nattrs; i++ {
+			fmt.Fprintf(w, " %s=%d", s.attrs[i].Key, s.attrs[i].Val)
+		}
+		io.WriteString(w, "\n")
+		for _, c := range children[idx] {
+			walk(c, depth+1)
+		}
+	}
+	walk(0, 0)
+	if dropped > 0 {
+		fmt.Fprintf(w, "(%d spans dropped over the per-trace cap)\n", dropped)
+	}
+	for i := 0; i < NumCounters; i++ {
+		if v := t.Counter(i); v != 0 {
+			fmt.Fprintf(w, "  %s=%d", CtrNames[i], v)
+		}
+	}
+	io.WriteString(w, "\n")
+}
+
+// chromeEvent is one trace_event record. Timestamps and durations are
+// microseconds, the unit chrome://tracing expects.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  uint64           `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the traces as Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
+// Each trace gets its own pid lane; span depth maps to tid so sibling
+// spans from concurrent goroutines stay visually separated.
+func WriteChromeTrace(w io.Writer, traces ...*Trace) error {
+	var events []chromeEvent
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		spans, _ := t.snapshotSpans()
+		depth := make([]int, len(spans))
+		for i := range spans {
+			if p := spans[i].parent; p >= 0 {
+				depth[i] = depth[p] + 1
+			}
+		}
+		base := float64(t.Start.UnixNano()) / 1e3
+		for i := range spans {
+			s := &spans[i]
+			dur := s.dur
+			if dur < 0 {
+				dur = 0
+			}
+			events = append(events, chromeEvent{
+				Name: s.name,
+				Ph:   "X",
+				Ts:   base + float64(s.start)/1e3,
+				Dur:  float64(dur) / 1e3,
+				Pid:  t.ID,
+				Tid:  depth[i],
+				Args: s.attrMap(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// Handler serves the tracer's retained traces over HTTP (the snserve
+// /debug/traces endpoint):
+//
+//	/debug/traces                 JSON list of retained trace summaries
+//	/debug/traces?id=N            full span tree as JSON
+//	/debug/traces?id=N&format=chrome   Chrome trace_event JSON
+//	/debug/traces?id=N&format=text     rendered tree, human-readable
+func Handler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		idStr := req.URL.Query().Get("id")
+		if idStr == "" {
+			ts := tr.Traces()
+			sums := make([]Summary, 0, len(ts))
+			for _, t := range ts {
+				sums = append(sums, t.Summary())
+			}
+			sort.Slice(sums, func(i, j int) bool { return sums[i].TotalNs > sums[j].TotalNs })
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(sums)
+			return
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		t := tr.Get(id)
+		if t == nil {
+			http.Error(w, "trace not retained (displaced from the slow-query log, or never sampled)", http.StatusNotFound)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, t)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			t.Render(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(t.JSON())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package webql
 
 import (
+	"context"
 	"math"
 	"os"
 	"testing"
@@ -53,7 +54,7 @@ func TestAnalysis1MatchesHandCraftedPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := e.Run(query.Q1)
+	want, err := e.Run(context.Background(), query.Q1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,11 +8,14 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snode/internal/metrics"
+	"snode/internal/trace"
 )
 
 // Pool is a bounded degree of parallelism. The zero value is not
@@ -75,8 +78,29 @@ func (p *Pool) exit() {
 // stops further dispatch (in-progress items finish) and is returned.
 // With one worker (or n <= 1) the calls run inline, in order.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return p.ForEachCtx(context.Background(), n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with request-scoped context: dispatch stops
+// once ctx is cancelled (in-progress items finish; the context's error
+// is returned when it cut the batch short), and when ctx carries an
+// execution trace each dispatched item records a queue-wait span — the
+// time the item sat between batch submission and a worker picking it
+// up, the pool's contribution to request latency. fn receives ctx so
+// the trace and cancellation propagate into the item's own work.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	traced := trace.Active(ctx)
+	var submitted time.Time
+	if traced {
+		submitted = time.Now()
 	}
 	w := p.workers
 	if w > n {
@@ -84,8 +108,15 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if traced {
+				trace.RecordSpan(ctx, "pool.wait", submitted, time.Since(submitted),
+					trace.Attr{Key: "item", Val: int64(i)})
+			}
 			p.enter()
-			err := fn(i)
+			err := fn(ctx, i)
 			p.exit()
 			if err != nil {
 				return err
@@ -94,23 +125,35 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		stopped atomic.Bool
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		first   error
+		next      atomic.Int64
+		stopped   atomic.Bool
+		cancelled atomic.Bool
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		first     error
 	)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
 			for !stopped.Load() {
+				if ctx.Err() != nil {
+					// Stop claiming new items; whatever is mid-flight on the
+					// other workers completes normally.
+					cancelled.Store(true)
+					stopped.Store(true)
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}
+				if traced {
+					trace.RecordSpan(ctx, "pool.wait", submitted, time.Since(submitted),
+						trace.Attr{Key: "item", Val: i})
+				}
 				p.enter()
-				err := fn(int(i))
+				err := fn(ctx, int(i))
 				p.exit()
 				if err != nil {
 					errMu.Lock()
@@ -125,6 +168,9 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if first == nil && cancelled.Load() {
+		first = ctx.Err()
+	}
 	return first
 }
 

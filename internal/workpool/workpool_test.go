@@ -1,6 +1,7 @@
 package workpool
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -42,6 +43,74 @@ func TestForEachStopsOnError(t *testing.T) {
 	}
 	if n := calls.Load(); n == 100000 {
 		t.Fatal("error did not stop dispatch")
+	}
+}
+
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	const n = 100000
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := New(4).ForEachCtx(ctx, n, func(ctx context.Context, i int) error {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	// Workers stop claiming once they observe the cancellation; only the
+	// handful of items already mid-flight may still complete.
+	if got := calls.Load(); got >= n/2 {
+		t.Fatalf("%d of %d items ran after cancellation", got, n)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	err := New(4).ForEachCtx(ctx, 100, func(ctx context.Context, i int) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 0 {
+		t.Fatalf("%d items ran on a pre-cancelled context", got)
+	}
+}
+
+func TestForEachCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	err := New(1).ForEachCtx(ctx, 100, func(ctx context.Context, i int) error {
+		calls++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if calls != 3 {
+		t.Fatalf("serial path ran %d items after cancel at item 2, want 3", calls)
+	}
+}
+
+func TestForEachCtxFnErrorWins(t *testing.T) {
+	// An item error reported before any cancellation is the one returned.
+	boom := errors.New("boom")
+	err := New(4).ForEachCtx(context.Background(), 1000, func(ctx context.Context, i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
 	}
 }
 

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead check bench bench-json clean
+.PHONY: build vet test test-race check-overhead test-determinism check bench bench-json bench-build clean
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,14 @@ check-overhead:
 	$(GO) test -count=1 -run 'TestUntracedTracingAddsNoAllocs' ./internal/query
 	$(GO) test -count=1 -run 'TestUntracedPrimitivesZeroAlloc' ./internal/trace
 
-check: build vet test test-race check-overhead
+# Build determinism: the parallel refiner and streaming assembly must
+# produce byte-identical partitions and artifacts at every worker
+# count, window size, and GOMAXPROCS. Run with -count=1 so the guard
+# always executes.
+test-determinism:
+	$(GO) test -count=1 -run 'TestBuildDeterministic|TestRefineWorkerCountInvariant' ./internal/snode ./internal/partition
+
+check: build vet test test-race check-overhead test-determinism
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -38,6 +45,13 @@ bench:
 # committed per PR so serving-path regressions show up in review.
 bench-json:
 	$(GO) run ./cmd/snbench -experiment concurrency -quick -trace 8 -metrics-out BENCH_PR3.json
+
+# Build-scaling artifact: wall time at 1/2/4/8 workers (refine, encode,
+# total, peak heap) with paced repository scans, committed per PR so
+# build-path regressions show up in review. Artifacts must hash
+# identical at every width (the "identical" column).
+bench-build:
+	$(GO) run ./cmd/snbench -experiment build -pace 0.25 -build-out BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

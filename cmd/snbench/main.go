@@ -9,6 +9,7 @@
 //	snbench -experiment fig12     # buffer-size sweep
 //	snbench -experiment ablation  # §3 design-choice studies
 //	snbench -experiment concurrency  # serving throughput vs goroutines
+//	snbench -experiment build        # build wall time vs workers
 //
 // -quick runs a reduced scale for smoke testing.
 package main
@@ -26,12 +27,13 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency")
+		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency, build")
 	quick := flag.Bool("quick", false, "reduced scale")
 	seed := flag.Uint64("seed", 0, "override corpus seed")
 	workspace := flag.String("workspace", "", "build directory (default: temp)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
-	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency experiment (0 = full modeled time)")
+	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency and build experiments (0 = full modeled time)")
+	buildOut := flag.String("build-out", "", "write the build-scaling rows as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -152,6 +154,26 @@ func main() {
 			bench.RenderConcurrency(cfg, rows)
 			if *csvDir != "" {
 				return bench.ConcurrencyCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
+	if want("build") {
+		run("build", func() error {
+			cfg.Pace = *pace
+			rows, err := bench.BuildScaling(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderBuildScaling(cfg, rows)
+			if *buildOut != "" {
+				if err := bench.BuildScalingJSON(*buildOut, cfg, rows); err != nil {
+					return err
+				}
+				fmt.Printf("build-scaling rows written to %s\n", *buildOut)
+			}
+			if *csvDir != "" {
+				return bench.BuildScalingCSV(*csvDir, rows)
 			}
 			return nil
 		})

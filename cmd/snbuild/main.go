@@ -2,7 +2,7 @@
 // written by sngen and prints size statistics.
 //
 //	snbuild -crawl ./crawl -out ./repo -scheme snode
-//	snbuild -crawl ./crawl -out ./repo -scheme all
+//	snbuild -crawl ./crawl -out ./repo -scheme all -workers 8 -progress
 package main
 
 import (
@@ -10,33 +10,122 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"snode/internal/corpusio"
+	"snode/internal/metrics"
 	"snode/internal/repo"
 	"snode/internal/snode"
 	"snode/internal/store"
 )
 
-func main() {
-	crawlDir := flag.String("crawl", "crawl", "directory written by sngen")
-	out := flag.String("out", "repo", "output workspace")
-	scheme := flag.String("scheme", "all", "snode, huffman, link3, db, files, or all")
-	budget := flag.Int64("budget", 16<<20, "per-representation cache budget (bytes)")
-	transpose := flag.Bool("transpose", true, "also build WGT representations")
-	verify := flag.Bool("verify", false, "verify the S-Node representation after building")
+// options are the validated command-line inputs.
+type options struct {
+	crawlDir  string
+	out       string
+	scheme    string
+	budget    int64
+	workers   int
+	transpose bool
+	verify    bool
+	progress  bool
+}
+
+// usageError prints the problem in flag-package style (message plus
+// defaults) and exits 2, the conventional usage-error status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snbuild: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// parseFlags validates every flag before any expensive work: unknown
+// schemes, nonsensical budgets or worker counts, and missing crawl
+// directories all fail fast with a usage-style message instead of
+// surfacing as a build error minutes later.
+func parseFlags() options {
+	var o options
+	flag.StringVar(&o.crawlDir, "crawl", "crawl", "directory written by sngen")
+	flag.StringVar(&o.out, "out", "repo", "output workspace")
+	flag.StringVar(&o.scheme, "scheme", "all", "one of: "+strings.Join(repo.AllSchemes(), ", ")+", or all")
+	flag.Int64Var(&o.budget, "budget", 16<<20, "per-representation cache budget (bytes, > 0)")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "build parallelism for partition refinement and supernode encoding (> 0; output is identical for every value)")
+	flag.BoolVar(&o.transpose, "transpose", true, "also build WGT representations")
+	flag.BoolVar(&o.verify, "verify", false, "verify the S-Node representation after building")
+	flag.BoolVar(&o.progress, "progress", false, "print a periodic build-progress line (elements split / supernodes encoded) to stderr")
 	flag.Parse()
 
-	crawl, err := corpusio.Read(filepath.Join(*crawlDir, "corpus.bin"))
+	if flag.NArg() > 0 {
+		usageError("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	}
+	if o.scheme != "all" {
+		valid := false
+		for _, s := range repo.AllSchemes() {
+			if s == o.scheme {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			usageError("unknown -scheme %q (valid: %s, all)", o.scheme, strings.Join(repo.AllSchemes(), ", "))
+		}
+	}
+	if o.budget <= 0 {
+		usageError("-budget must be positive, got %d", o.budget)
+	}
+	if o.workers <= 0 {
+		usageError("-workers must be positive, got %d", o.workers)
+	}
+	if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
+		usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
+	}
+	return o
+}
+
+// reportProgress prints one stderr line per tick from the build_*
+// instruments the refine and encode stages update as they go.
+func reportProgress(reg *metrics.Registry, stop <-chan struct{}) {
+	split := reg.Counter("build_elements_split")
+	elements := reg.Gauge("build_elements")
+	encoded := reg.Counter("build_supernodes_encoded")
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			fmt.Fprintf(os.Stderr, "snbuild: %6.1fs  elements split %d (live %d), supernodes encoded %d\n",
+				time.Since(start).Seconds(), split.Value(), elements.Value(), encoded.Value())
+		}
+	}
+}
+
+func main() {
+	o := parseFlags()
+
+	crawl, err := corpusio.Read(filepath.Join(o.crawlDir, "corpus.bin"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snbuild:", err)
 		os.Exit(1)
 	}
-	opt := repo.DefaultOptions(*out)
-	opt.CacheBudget = *budget
-	opt.Transpose = *transpose
+	opt := repo.DefaultOptions(o.out)
+	opt.CacheBudget = o.budget
+	opt.Transpose = o.transpose
 	opt.Layout = crawl.Order
-	if *scheme != "all" {
-		opt.Schemes = []string{*scheme}
+	opt.SNode.BuildWorkers = o.workers
+	if o.scheme != "all" {
+		opt.Schemes = []string{o.scheme}
+	}
+	reg := metrics.NewRegistry()
+	opt.SNode.Metrics = reg
+	if o.progress {
+		stop := make(chan struct{})
+		go reportProgress(reg, stop)
+		defer close(stop)
 	}
 	r, err := repo.Build(crawl.Corpus, opt)
 	if err != nil {
@@ -59,7 +148,7 @@ func main() {
 		fmt.Printf("%-10s %14d %12.2f\n", name, sized.SizeBytes(),
 			store.BitsPerEdge(sized, edges))
 	}
-	if *verify {
+	if o.verify {
 		if sn, ok := r.Fwd[repo.SchemeSNode].(*snode.Representation); ok {
 			if err := sn.Verify(); err != nil {
 				fmt.Fprintln(os.Stderr, "snbuild: verify:", err)
@@ -71,8 +160,8 @@ func main() {
 	if st := r.SNodeStats; st != nil {
 		fmt.Printf("\nS-Node: %d supernodes, %d superedges (%d positive, %d negative)\n",
 			st.Supernodes, st.Superedges, st.PositiveSuperedges, st.NegativeSuperedges)
-		fmt.Printf("        supernode graph %d bytes, index files %d bytes, built in %v\n",
-			st.SupernodeGraphBytes, st.IndexFileBytes, st.BuildTime)
+		fmt.Printf("        supernode graph %d bytes, index files %d bytes, built in %v with %d workers\n",
+			st.SupernodeGraphBytes, st.IndexFileBytes, st.BuildTime, o.workers)
 		fmt.Printf("        partition: %d URL splits, %d clustered splits\n",
 			st.URLSplits, st.ClusteredSplits)
 	}

@@ -15,28 +15,61 @@ import (
 	"snode/internal/synth"
 )
 
-func main() {
-	pages := flag.Int("pages", 50000, "number of pages")
-	seed := flag.Uint64("seed", 20030226, "generator seed")
-	out := flag.String("out", "crawl", "output directory")
+// options are the validated command-line inputs.
+type options struct {
+	pages int
+	seed  uint64
+	out   string
+}
+
+// usageError prints the problem in flag-package style (message plus
+// defaults) and exits 2, the conventional usage-error status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sngen: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// parseFlags validates every flag before generation starts, matching
+// the snbuild/snquery convention.
+func parseFlags() options {
+	var o options
+	flag.IntVar(&o.pages, "pages", 50000, "number of pages (> 0)")
+	flag.Uint64Var(&o.seed, "seed", 20030226, "generator seed")
+	flag.StringVar(&o.out, "out", "crawl", "output directory")
 	flag.Parse()
 
-	cfg := synth.DefaultConfig(*pages)
-	cfg.Seed = *seed
+	if flag.NArg() > 0 {
+		usageError("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	}
+	if o.pages <= 0 {
+		usageError("-pages must be positive, got %d", o.pages)
+	}
+	if o.out == "" {
+		usageError("-out directory must not be empty")
+	}
+	return o
+}
+
+func main() {
+	o := parseFlags()
+
+	cfg := synth.DefaultConfig(o.pages)
+	cfg.Seed = o.seed
 	crawl, err := synth.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sngen:", err)
 		os.Exit(1)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "sngen:", err)
 		os.Exit(1)
 	}
-	if err := corpusio.Write(crawl, filepath.Join(*out, "corpus.bin")); err != nil {
+	if err := corpusio.Write(crawl, filepath.Join(o.out, "corpus.bin")); err != nil {
 		fmt.Fprintln(os.Stderr, "sngen:", err)
 		os.Exit(1)
 	}
 	g := crawl.Corpus.Graph
 	fmt.Printf("generated %d pages, %d links (avg out-degree %.1f) into %s\n",
-		g.NumPages(), g.NumEdges(), g.AvgOutDegree(), *out)
+		g.NumPages(), g.NumEdges(), g.AvgOutDegree(), o.out)
 }

@@ -265,3 +265,41 @@ func TestCrawlCacheReuse(t *testing.T) {
 		t.Fatal("different seed reused cached crawl")
 	}
 }
+
+func TestBuildScalingSmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.Pace = 0.05 // keep the paced smoke run short
+	rows, err := BuildScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(buildLevels()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Workers != buildLevels()[i] {
+			t.Fatalf("row %d: %d workers, want %d", i, r.Workers, buildLevels()[i])
+		}
+		if r.Total <= 0 || r.Supernodes <= 0 || r.ModeledIO <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// The hard guarantee (and half the acceptance criterion): every
+		// worker count produces byte-identical artifacts.
+		if !r.Identical {
+			t.Fatalf("workers=%d: artifacts differ from the 1-worker build", r.Workers)
+		}
+	}
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderBuildScaling(cfg, rows)
+	if !strings.Contains(sb.String(), "workers") {
+		t.Fatal("render output missing header")
+	}
+	dir := t.TempDir()
+	if err := BuildScalingJSON(dir+"/build.json", cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildScalingCSV(dir, rows); err != nil {
+		t.Fatal(err)
+	}
+}

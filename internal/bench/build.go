@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"snode/internal/iosim"
+	"snode/internal/partition"
+	"snode/internal/snode"
+)
+
+// The build-scaling experiment: the paper reports that constructing the
+// S-Node representation is dominated by iterative refinement and
+// per-supernode encoding, both of which stream signatures and links out
+// of the crawl repository. Both stages are now parallel (round-based
+// refinement, streaming in-order assembly) and deterministic — every
+// worker count produces byte-identical artifacts — so this experiment
+// measures build wall time against worker count with iosim pacing on,
+// exactly as the concurrency experiment does for serving: each modeled
+// repository scan is slept in real time, and parallel workers buy the
+// time back by overlapping their stalls (plus overlapping CPU work on
+// multicore hosts). The Identical column re-hashes every artifact
+// against the 1-worker build.
+
+// BuildRow is one worker count of the build-scaling experiment.
+type BuildRow struct {
+	Workers    int           `json:"workers"`
+	Refine     time.Duration `json:"refine_ns"`
+	Encode     time.Duration `json:"encode_ns"`
+	Total      time.Duration `json:"total_ns"`
+	Speedup    float64       `json:"speedup"`
+	ModeledIO  time.Duration `json:"modeled_io_ns"`
+	PeakHeapMB float64       `json:"peak_heap_mb"`
+	Identical  bool          `json:"identical"`
+	Supernodes int           `json:"supernodes"`
+}
+
+// buildLevels is the worker-count series the experiment reports.
+func buildLevels() []int { return []int{1, 2, 4, 8} }
+
+// heapSampler tracks peak heap+stack usage while a build runs; the
+// in-use figure is the closest portable stand-in for peak RSS growth.
+type heapSampler struct {
+	peak atomic.Int64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if v := int64(ms.HeapInuse + ms.StackInuse); v > s.peak.Load() {
+					s.peak.Store(v)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) peakMB() float64 {
+	close(s.stop)
+	<-s.done
+	return float64(s.peak.Load()) / (1 << 20)
+}
+
+// buildDirHashes fingerprints every artifact in a build directory.
+func buildDirHashes(dir string) (map[string][32]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][32]byte{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = sha256.Sum256(data)
+	}
+	return out, nil
+}
+
+func sameHashes(a, b map[string][32]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildScaling builds the S-Node representation of the cfg.QuerySize
+// corpus at each worker count, pacing the modeled repository scans in
+// real time (cfg.Pace, 1.0 when unset), and reports wall time per
+// stage, speedup over one worker, and artifact identity.
+func BuildScaling(cfg Config) ([]BuildRow, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	ctx := context.Background()
+
+	var rows []BuildRow
+	var refHashes map[string][32]byte
+	for _, w := range buildLevels() {
+		dir := filepath.Join(ws, fmt.Sprintf("buildrepo-%d", w))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		acct := iosim.NewAccountant(cfg.Model)
+		acct.SetPace(pace)
+		bcfg := snode.DefaultConfig()
+		bcfg.BuildWorkers = w
+		bcfg.BuildIO = acct
+		bcfg.Metrics = cfg.Metrics
+		pcfg := bcfg.Partition
+		pcfg.Workers = w
+		pcfg.IO = acct
+		pcfg.Metrics = cfg.Metrics
+
+		sampler := startHeapSampler()
+		start := time.Now()
+		p, err := partition.RefineCtx(ctx, crawl.Corpus, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: build workers=%d: refine: %w", w, err)
+		}
+		refineDone := time.Now()
+		st, err := snode.BuildFromPartitionCtx(ctx, crawl.Corpus, p, bcfg, dir, start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: build workers=%d: %w", w, err)
+		}
+		total := time.Since(start)
+		peakMB := sampler.peakMB()
+
+		hashes, err := buildDirHashes(dir)
+		if err != nil {
+			return nil, err
+		}
+		if refHashes == nil {
+			refHashes = hashes
+		}
+		row := BuildRow{
+			Workers:    w,
+			Refine:     refineDone.Sub(start),
+			Encode:     total - refineDone.Sub(start),
+			Total:      total,
+			ModeledIO:  acct.ModeledTime(),
+			PeakHeapMB: peakMB,
+			Identical:  sameHashes(refHashes, hashes),
+			Supernodes: st.Supernodes,
+		}
+		if len(rows) > 0 && row.Total > 0 {
+			row.Speedup = rows[0].Total.Seconds() / row.Total.Seconds()
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+		// The artifacts are hashed; drop them so the sweep's disk usage
+		// stays at one build.
+		os.RemoveAll(dir)
+	}
+	return rows, nil
+}
+
+// RenderBuildScaling prints the build-scaling table.
+func RenderBuildScaling(cfg Config, rows []BuildRow) {
+	w := cfg.out()
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	fmt.Fprintf(w, "Build scaling: S-Node build wall time vs workers (%d pages, paced repository scans x%.2f)\n",
+		cfg.QuerySize, pace)
+	fmt.Fprintf(w, "%8s %10s %10s %10s %9s %11s %10s %10s\n",
+		"workers", "refine", "encode", "total", "speedup", "modeled-io", "peak-heap", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %10v %10v %10v %8.2fx %11v %8.1fMB %10v\n",
+			r.Workers, r.Refine.Round(time.Millisecond), r.Encode.Round(time.Millisecond),
+			r.Total.Round(time.Millisecond), r.Speedup,
+			r.ModeledIO.Round(time.Millisecond), r.PeakHeapMB, r.Identical)
+	}
+	fmt.Fprintln(w, "(workers overlap the modeled scan stalls; artifacts are byte-identical at every width)")
+	fmt.Fprintln(w)
+}
+
+// BuildScalingJSON writes the rows (plus the run's scale parameters) as
+// the committed benchmark artifact.
+func BuildScalingJSON(path string, cfg Config, rows []BuildRow) error {
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	doc := struct {
+		Experiment string     `json:"experiment"`
+		Pages      int        `json:"pages"`
+		Pace       float64    `json:"pace"`
+		Rows       []BuildRow `json:"rows"`
+	}{Experiment: "build_scaling", Pages: cfg.QuerySize, Pace: pace, Rows: rows}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BuildScalingCSV writes the rows in the bench CSV convention.
+func BuildScalingCSV(dir string, rows []BuildRow) error {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Workers < rows[j].Workers })
+	f, err := os.Create(filepath.Join(dir, "build_scaling.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "workers,refine_ms,encode_ms,total_ms,speedup,modeled_io_ms,peak_heap_mb,identical,supernodes")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%d,%.1f,%.1f,%.1f,%.3f,%.1f,%.1f,%v,%d\n",
+			r.Workers, float64(r.Refine.Microseconds())/1e3, float64(r.Encode.Microseconds())/1e3,
+			float64(r.Total.Microseconds())/1e3, r.Speedup,
+			float64(r.ModeledIO.Microseconds())/1e3, r.PeakHeapMB, r.Identical, r.Supernodes)
+	}
+	return f.Close()
+}

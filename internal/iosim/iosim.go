@@ -241,6 +241,51 @@ func (a *Accountant) stallCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
+// Scan accounts one modeled contiguous scan of n bytes that begins
+// with a positioning seek — the cost shape of the build pipeline's
+// repository reads: each partition element or supernode reads a
+// contiguous run of the source crawl, then the arm moves elsewhere, so
+// no inter-scan position is worth tracking (unlike File reads, Scan
+// does not touch lastEnd). Under SetPace the caller stalls for the
+// scan's modeled cost, which is how the build-scaling experiment turns
+// worker parallelism into real overlapped wall time on any hardware;
+// with pacing off, Scan only bumps the counters. A nil Accountant is
+// inert, so unmodeled builds pay a single nil check. When ctx carries
+// an execution trace the scan records an "iosim.scan" span and feeds
+// the per-request I/O counters.
+func (a *Accountant) Scan(ctx context.Context, n int64) {
+	if a == nil {
+		return
+	}
+	traced := trace.Active(ctx)
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	a.mu.Lock()
+	a.stats.Reads++
+	a.stats.Seeks++
+	a.stats.BytesRead += n
+	var pause time.Duration
+	if a.pace > 0 {
+		d := a.model.Seek
+		if a.model.BytesPerSecond > 0 {
+			d += time.Duration(float64(n) / a.model.BytesPerSecond * float64(time.Second))
+		}
+		pause = time.Duration(float64(d) * a.pace)
+	}
+	a.mu.Unlock()
+	if traced {
+		trace.RecordSpan(ctx, "iosim.scan", start, time.Since(start),
+			trace.Attr{Key: "bytes", Val: n},
+			trace.Attr{Key: "paced_ns", Val: int64(pause)})
+		trace.Add(ctx, trace.CtrReads, 1)
+		trace.Add(ctx, trace.CtrBytesRead, n)
+		trace.Add(ctx, trace.CtrSeeks, 1)
+	}
+	a.stallCtx(ctx, pause)
+}
+
 // File wraps an *os.File with accounting. Writes are not modeled (the
 // paper measures query time over already-built representations).
 type File struct {

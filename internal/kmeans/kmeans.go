@@ -49,9 +49,18 @@ type Result struct {
 	TotalSS     float64
 }
 
+// centroid is dense over the (densified) dimension range that occurs
+// in the input. Dense storage matters twice: the inner loop indexes a
+// slice instead of hashing map keys, and — critically for the parallel
+// partition refiner — every float accumulation below runs in fixed
+// index order, so a clustering is a pure function of (points, Config).
+// The previous map-backed centroids summed norms in map-iteration
+// order, which Go randomizes per run; float addition is not
+// associative, so two runs could disagree in the last ulp and, on a
+// knife-edge comparison, flip an assignment.
 type centroid struct {
-	weights map[int32]float64 // mean of member vectors, sparse
-	norm2   float64           // squared L2 norm of the centroid
+	weights []float64 // mean of member vectors
+	norm2   float64   // squared L2 norm of the centroid
 	count   int
 }
 
@@ -65,8 +74,24 @@ func sqDistance(p Point, c *centroid) float64 {
 	return float64(len(p)) + c.norm2 - 2*dot
 }
 
-// Run clusters the points. Empty points are valid (pages that point to
-// no other supernode) and gravitate to a shared cluster.
+// dims returns the dense dimension count: one past the largest set
+// dimension across the (sorted) points.
+func dims(points []Point) int32 {
+	var max int32 = -1
+	for _, p := range points {
+		if len(p) > 0 && p[len(p)-1] > max {
+			max = p[len(p)-1]
+		}
+	}
+	return max + 1
+}
+
+// Run clusters the points. Points must be normalized with SortPoint
+// first (the dense centroids size themselves from the largest sorted
+// dimension). Empty points are valid (pages that point to no other
+// supernode) and gravitate to a shared cluster. Run is deterministic:
+// the same points and Config produce the same Result on every run and
+// under any GOMAXPROCS.
 func Run(points []Point, cfg Config) (*Result, error) {
 	n := len(points)
 	if cfg.K < 2 || n < 2 {
@@ -81,12 +106,14 @@ func Run(points []Point, cfg Config) (*Result, error) {
 	}
 	rng := randutil.NewRNG(cfg.Seed)
 
+	nd := dims(points)
+
 	// Initialization: k distinct points chosen by a k-means++-style
 	// spread — pick the first at random, then each next point far from
 	// chosen centroids (sampled among a small candidate set for speed).
 	cents := make([]*centroid, 0, k)
 	addCentroid := func(p Point) {
-		c := &centroid{weights: map[int32]float64{}, count: 1}
+		c := &centroid{weights: make([]float64, nd), count: 1}
 		for _, d := range p {
 			c.weights[d] = 1
 		}
@@ -135,9 +162,12 @@ func Run(points []Point, cfg Config) (*Result, error) {
 			converged = true
 			break
 		}
-		// Recompute centroids.
+		// Recompute centroids. All accumulation is in dense index order,
+		// keeping the arithmetic bit-reproducible run to run.
 		for _, c := range cents {
-			c.weights = map[int32]float64{}
+			for d := range c.weights {
+				c.weights[d] = 0
+			}
 			c.norm2 = 0
 			c.count = 0
 		}
@@ -153,8 +183,10 @@ func Run(points []Point, cfg Config) (*Result, error) {
 				continue
 			}
 			inv := 1.0 / float64(c.count)
-			c.norm2 = 0
 			for d, w := range c.weights {
+				if w == 0 {
+					continue
+				}
 				w *= inv
 				c.weights[d] = w
 				c.norm2 += w * w
@@ -167,7 +199,7 @@ func Run(points []Point, cfg Config) (*Result, error) {
 	for i, p := range points {
 		withinSS += sqDistance(p, cents[assign[i]])
 	}
-	global := &centroid{weights: map[int32]float64{}, count: n}
+	global := &centroid{weights: make([]float64, nd), count: n}
 	for _, p := range points {
 		for _, d := range p {
 			global.weights[d]++
@@ -175,6 +207,9 @@ func Run(points []Point, cfg Config) (*Result, error) {
 	}
 	inv := 1.0 / float64(n)
 	for d, w := range global.weights {
+		if w == 0 {
+			continue
+		}
 		w *= inv
 		global.weights[d] = w
 		global.norm2 += w * w

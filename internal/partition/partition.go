@@ -19,13 +19,19 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"snode/internal/iosim"
 	"snode/internal/kmeans"
+	"snode/internal/metrics"
 	"snode/internal/randutil"
+	"snode/internal/trace"
 	"snode/internal/urlutil"
 	"snode/internal/webgraph"
+	"snode/internal/workpool"
 )
 
 // StoppingRule selects how refinement decides it is done.
@@ -76,8 +82,25 @@ type Config struct {
 	// scatter is chunking one homogeneous cloud, not discovering
 	// adjacency-list structure, and is treated as an abort.
 	SplitQuality float64
-	// MaxIterations is a safety cap on refinement iterations.
+	// MaxIterations is a safety cap on refinement iterations (elements
+	// examined, across all rounds).
 	MaxIterations int
+	// Workers is the refinement parallelism: each round's splittable
+	// elements are examined concurrently on a workpool of this width.
+	// <= 0 selects runtime.GOMAXPROCS(0). The result is identical for
+	// every width (see Refine).
+	Workers int
+	// IO, when non-nil, charges a modeled repository scan (one seek plus
+	// the element's adjacency bytes) per clustered-split attempt — the
+	// build-side analog of the serving path's simulated 2002 disk. Under
+	// iosim pacing the scans stall real time, which concurrent workers
+	// overlap. Pacing never affects the resulting partition.
+	IO *iosim.Accountant
+	// Metrics, when non-nil, receives build-stage instrumentation:
+	// refine_rounds / url_splits / clustered_splits / aborts /
+	// elements_split counters, an elements gauge, and a per-round
+	// latency histogram, all under the "build_" prefix.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -111,7 +134,8 @@ type Partition struct {
 	// Assign maps every page to its element index.
 	Assign []int32
 	// Stats from the run.
-	Iterations      int
+	Iterations      int // elements examined, across all rounds
+	Rounds          int
 	URLSplits       int
 	ClusteredSplits int
 	Aborts          int
@@ -188,102 +212,201 @@ func InitialByDomain(c *webgraph.Corpus) *Partition {
 }
 
 // Refine runs the full iterative refinement and returns the final
-// partition.
+// partition. It is RefineCtx without cancellation or tracing.
 func Refine(c *webgraph.Corpus, cfg Config) (*Partition, error) {
+	return RefineCtx(context.Background(), c, cfg)
+}
+
+// splitResult is one element's outcome from a refinement round. A nil
+// groups is an abort (unsplittable at this granularity).
+type splitResult struct {
+	groups []Element
+	url    bool // groups came from URL split, not clustered split
+}
+
+// modeled repository-scan cost per page record and per stored link,
+// the flat layout a 2002 build would stream the crawl from.
+const (
+	scanPageBytes = 16
+	scanEdgeBytes = 8
+)
+
+// elementRNG derives the deterministic RNG stream for examining one
+// element in one refinement round. Seeding from (cfg.Seed, the
+// element's smallest page ID, round) — instead of drawing from one
+// shared sequential stream — is what makes parallel refinement
+// bit-identical regardless of worker count and GOMAXPROCS: an
+// element's k-means seeds depend only on what is being split and when,
+// never on goroutine scheduling.
+func elementRNG(seed uint64, first webgraph.PageID, round int) *randutil.RNG {
+	return randutil.NewRNG(seed).Split(uint64(first)).Split(uint64(round))
+}
+
+// trySplit examines one element against the round-start partition and
+// proposes its split. It mutates only its own element (the clusterOnly
+// promotion), so a round may examine all live elements concurrently.
+func trySplit(ctx context.Context, c *webgraph.Corpus, p *Partition, ei int, cfg Config, round int) splitResult {
+	e := &p.Elements[ei]
+	// URL split is cheap and applies regardless of element size; a
+	// shallow crawl of a domain still separates into its top-level
+	// directories. Only clustered split is size-gated below.
+	if !e.clusterOnly {
+		if groups := urlSplit(c, e, cfg.MaxURLDepth); groups != nil {
+			return splitResult{groups: groups, url: true}
+		}
+		// No useful prefix remains; fall through to clustered split.
+		e.clusterOnly = true
+	}
+	if len(e.Pages) < cfg.MinSplitSize {
+		return splitResult{}
+	}
+	if cfg.IO != nil {
+		var edges int64
+		for _, pg := range e.Pages {
+			edges += int64(len(c.Graph.Out(pg)))
+		}
+		cfg.IO.Scan(ctx, scanPageBytes*int64(len(e.Pages))+scanEdgeBytes*edges)
+	}
+	rng := elementRNG(cfg.Seed, e.Pages[0], round)
+	return splitResult{groups: clusteredSplit(c, p, ei, cfg, rng)}
+}
+
+// RefineCtx runs deterministic round-based parallel refinement: each
+// round gathers every live splittable element, examines them all
+// concurrently on a worker pool against the frozen round-start
+// partition (an element's split touches only its own pages, so
+// examinations are independent), then applies the proposed splits in
+// ascending element order. Split children become the next round's
+// candidates and aborted elements are dropped, so the candidate set is
+// compacted every round — the old single-element loop appended
+// children to a queue and pruned stale entries only on random
+// collisions, growing it without bound on large corpora.
+//
+// The result is bit-identical for every cfg.Workers value and
+// GOMAXPROCS: per-element RNG streams are derived from
+// (Seed, smallest page ID, round), k-means is order-deterministic, and
+// application order is sorted, so scheduling never leaks into the
+// partition.
+//
+// StopAbortMax keeps the paper's semantics under rounds: outcomes are
+// consumed in application order, counting consecutive aborts across
+// round boundaries and stopping — mid-round, discarding the rest, as
+// the sequential loop would — once they reach abortmax (recomputed per
+// element from the current element count).
+func RefineCtx(ctx context.Context, c *webgraph.Corpus, cfg Config) (*Partition, error) {
 	if cfg.MinSplitSize < 2 || (cfg.Stopping == StopAbortMax && cfg.AbortMaxFrac <= 0) {
 		return nil, fmt.Errorf("partition: invalid config %+v", cfg)
 	}
+	ctx, span := trace.Start(ctx, "refine")
+	defer span.End()
 	p := InitialByDomain(c)
-	rng := randutil.NewRNG(cfg.Seed)
 	maxIter := cfg.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 200 * (1 + c.Graph.NumPages()/cfg.MinSplitSize)
 	}
+	var (
+		mRounds, mURL, mClustered, mAborts, mSplit *metrics.Counter
+		mElements                                  *metrics.Gauge
+		mRoundNs                                   *metrics.Histogram
+	)
+	if cfg.Metrics != nil {
+		mRounds = cfg.Metrics.Counter("build_refine_rounds")
+		mURL = cfg.Metrics.Counter("build_url_splits")
+		mClustered = cfg.Metrics.Counter("build_clustered_splits")
+		mAborts = cfg.Metrics.Counter("build_refine_aborts")
+		mSplit = cfg.Metrics.Counter("build_elements_split")
+		mElements = cfg.Metrics.Gauge("build_elements")
+		mRoundNs = cfg.Metrics.Histogram("build_refine_round_ns", nil)
+		mElements.Set(int64(len(p.Elements)))
+	}
+	pool := workpool.New(cfg.Workers)
 
-	// candidates holds the elements not yet known to be unsplittable.
-	// splittable[i] mirrors membership so stale queue entries are cheap
-	// to detect after splits.
+	abortMax := func() int {
+		am := int(cfg.AbortMaxFrac * float64(len(p.Elements)))
+		if am < 1 {
+			am = 1
+		}
+		return am
+	}
+
 	candidates := make([]int, len(p.Elements))
-	splittable := make([]bool, len(p.Elements))
 	for i := range candidates {
 		candidates[i] = i
-		splittable[i] = true
 	}
-	markUnsplittable := func(ei int) {
-		splittable[ei] = false
-	}
-	addElements := func(from int) {
-		for i := from; i < len(p.Elements); i++ {
-			candidates = append(candidates, i)
-			splittable = append(splittable, true)
-		}
-	}
-
 	consecutiveAborts := 0
-	for iter := 0; iter < maxIter; iter++ {
-		if cfg.Stopping == StopAbortMax {
-			abortMax := int(cfg.AbortMaxFrac * float64(len(p.Elements)))
-			if abortMax < 1 {
-				abortMax = 1
-			}
-			if consecutiveAborts >= abortMax {
-				break
-			}
+	stopped := false
+	for round := 0; len(candidates) > 0 && !stopped && p.Iterations < maxIter; round++ {
+		batch := candidates
+		if rem := maxIter - p.Iterations; len(batch) > rem {
+			batch = batch[:rem]
 		}
-		// Pick a random live candidate (the paper's random element
-		// selection, restricted to elements not yet known-unsplittable),
-		// discarding stale entries along the way.
-		ei := -1
-		for len(candidates) > 0 {
-			j := rng.Intn(len(candidates))
-			if splittable[candidates[j]] {
-				ei = candidates[j]
-				break
-			}
-			candidates[j] = candidates[len(candidates)-1]
-			candidates = candidates[:len(candidates)-1]
-		}
-		if ei == -1 {
-			break
-		}
-		e := &p.Elements[ei]
-		p.Iterations++
+		sort.Ints(batch)
+		roundStart := time.Now()
+		rctx, rspan := trace.Start(ctx, "refine.round")
+		rspan.SetAttr("round", int64(round))
+		rspan.SetAttr("candidates", int64(len(batch)))
 
-		// URL split is cheap and applies regardless of element size; a
-		// shallow crawl of a domain still separates into its top-level
-		// directories. Only clustered split is size-gated below.
-		if !e.clusterOnly {
-			nBefore := len(p.Elements)
-			groups := urlSplit(c, e, cfg.MaxURLDepth)
-			if groups != nil {
-				applySplit(p, ei, groups)
-				addElements(nBefore)
-				p.URLSplits++
-				consecutiveAborts = 0
+		results := make([]splitResult, len(batch))
+		round := round // fixed per-closure for the RNG derivation
+		if err := pool.ForEachCtx(rctx, len(batch), func(ctx context.Context, i int) error {
+			results[i] = trySplit(ctx, c, p, batch[i], cfg, round)
+			return nil
+		}); err != nil {
+			rspan.End()
+			return nil, err
+		}
+
+		// Apply in ascending element order (batch is sorted), counting
+		// aborts exactly as the sequential loop would have.
+		var next []int
+		var urlSplits, clustered, aborts int64
+		for i, ei := range batch {
+			if cfg.Stopping == StopAbortMax && consecutiveAborts >= abortMax() {
+				stopped = true
+				break
+			}
+			p.Iterations++
+			r := results[i]
+			if r.groups == nil {
+				p.Aborts++
+				aborts++
+				consecutiveAborts++
 				continue
 			}
-			// No useful prefix remains; fall through to clustered split.
-			e.clusterOnly = true
+			nBefore := len(p.Elements)
+			applySplit(p, ei, r.groups)
+			next = append(next, ei)
+			for j := nBefore; j < len(p.Elements); j++ {
+				next = append(next, j)
+			}
+			if r.url {
+				p.URLSplits++
+				urlSplits++
+			} else {
+				p.ClusteredSplits++
+				clustered++
+			}
+			consecutiveAborts = 0
 		}
-		if len(e.Pages) < cfg.MinSplitSize {
-			markUnsplittable(ei)
-			consecutiveAborts++
-			p.Aborts++
-			continue
+		p.Rounds++
+		candidates = next
+
+		rspan.SetAttr("url_splits", urlSplits)
+		rspan.SetAttr("clustered_splits", clustered)
+		rspan.SetAttr("aborts", aborts)
+		rspan.End()
+		if cfg.Metrics != nil {
+			mRounds.Inc()
+			mURL.Add(urlSplits)
+			mClustered.Add(clustered)
+			mAborts.Add(aborts)
+			mSplit.Add(urlSplits + clustered)
+			mElements.Set(int64(len(p.Elements)))
+			mRoundNs.ObserveDuration(time.Since(roundStart))
 		}
-		nBefore := len(p.Elements)
-		groups := clusteredSplit(c, p, ei, cfg, rng)
-		if groups == nil {
-			markUnsplittable(ei)
-			consecutiveAborts++
-			p.Aborts++
-			continue
-		}
-		applySplit(p, ei, groups)
-		addElements(nBefore)
-		p.ClusteredSplits++
-		consecutiveAborts = 0
 	}
+	span.SetAttr("rounds", int64(p.Rounds))
+	span.SetAttr("elements", int64(len(p.Elements)))
 	return p, nil
 }
 

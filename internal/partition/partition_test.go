@@ -1,8 +1,12 @@
 package partition
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/synth"
 	"snode/internal/urlutil"
 	"snode/internal/webgraph"
@@ -284,5 +288,113 @@ func TestSupernodeGrowthSublinear(t *testing.T) {
 	rb := float64(pb.NumElements()) / 12000
 	if rb >= rs {
 		t.Fatalf("supernode density did not fall: %.4f (4k) vs %.4f (12k)", rs, rb)
+	}
+}
+
+func TestRefineWorkerCountInvariant(t *testing.T) {
+	// The tentpole guarantee: the partition is bit-identical for every
+	// worker-pool width (per-element RNG streams + sorted application
+	// order keep scheduling out of the result).
+	c := getCorpus(t)
+	base := DefaultConfig()
+	base.Workers = 1
+	ref, err := Refine(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		p, err := Refine(c, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p.NumElements() != ref.NumElements() {
+			t.Fatalf("workers=%d: %d elements, workers=1 gave %d",
+				workers, p.NumElements(), ref.NumElements())
+		}
+		for i := range p.Assign {
+			if p.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: assignment diverges at page %d", workers, i)
+			}
+		}
+		if p.URLSplits != ref.URLSplits || p.ClusteredSplits != ref.ClusteredSplits ||
+			p.Aborts != ref.Aborts || p.Iterations != ref.Iterations || p.Rounds != ref.Rounds {
+			t.Fatalf("workers=%d: stats diverge: %+v vs %+v", workers,
+				struct{ U, C, A, I, R int }{p.URLSplits, p.ClusteredSplits, p.Aborts, p.Iterations, p.Rounds},
+				struct{ U, C, A, I, R int }{ref.URLSplits, ref.ClusteredSplits, ref.Aborts, ref.Iterations, ref.Rounds})
+		}
+	}
+}
+
+func TestRefineParallelRace(t *testing.T) {
+	// Exercise the round-parallel path under the race detector (make
+	// check runs this package with -race). Plain Refine at width 8 is
+	// enough: every round fans trySplit out over the pool.
+	c := getCorpus(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	p, err := Refine(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineCtxCancelled(t *testing.T) {
+	c := getCorpus(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RefineCtx(ctx, c, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}
+
+func TestRefineMetricsRegistered(t *testing.T) {
+	c := getCorpus(t)
+	cfg := DefaultConfig()
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	p, err := Refine(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := reg.Counter("build_elements_split").Value()
+	if want := int64(p.URLSplits + p.ClusteredSplits); split != want {
+		t.Fatalf("build_elements_split = %d, want %d", split, want)
+	}
+	if got := reg.Counter("build_refine_rounds").Value(); got != int64(p.Rounds) {
+		t.Fatalf("build_refine_rounds = %d, want %d", got, p.Rounds)
+	}
+	if got := reg.Gauge("build_elements").Value(); got != int64(p.NumElements()) {
+		t.Fatalf("build_elements gauge = %d, want %d", got, p.NumElements())
+	}
+}
+
+func TestRefineModeledScan(t *testing.T) {
+	// With an accountant attached, clustered-split attempts charge
+	// repository scans; with pacing off this must not change the result.
+	c := getCorpus(t)
+	ref, err := Refine(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	acct := iosim.NewAccountant(iosim.Model2002())
+	cfg.IO = acct
+	p, err := Refine(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Assign {
+		if p.Assign[i] != ref.Assign[i] {
+			t.Fatalf("modeled scans changed the partition at page %d", i)
+		}
+	}
+	st := acct.Stats()
+	if st.Seeks == 0 || st.BytesRead == 0 {
+		t.Fatalf("no scans charged: %+v", st)
 	}
 }

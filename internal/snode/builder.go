@@ -2,46 +2,96 @@ package snode
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"snode/internal/bitio"
 	"snode/internal/coding"
+	"snode/internal/metrics"
 	"snode/internal/partition"
+	"snode/internal/trace"
 	"snode/internal/webgraph"
+	"snode/internal/workpool"
 )
+
+// Modeled repository-scan cost of streaming one supernode's pages and
+// links out of the crawl store during encoding (mirrors the partition
+// package's per-split scan accounting).
+const (
+	scanPageBytes = 16
+	scanEdgeBytes = 8
+)
+
+// encodeFailHook, when non-nil, runs before each supernode encode and
+// aborts it on error. Tests use it to prove the encode pipeline shuts
+// down cleanly when every worker fails (the producer/worker deadlock
+// the streaming assembly replaced).
+var encodeFailHook func(s int32) error
 
 // Build computes the partition, constructs the S-Node representation of
 // the corpus graph, and writes it (index files plus meta.bin) into dir,
 // which must exist and be empty or reusable.
 func Build(c *webgraph.Corpus, cfg Config, dir string) (*BuildStats, error) {
+	return BuildCtx(context.Background(), c, cfg, dir)
+}
+
+// BuildCtx is Build with request-scoped context: cancellation stops the
+// refinement and encode stages between work items, and a trace carried
+// by ctx records per-stage and per-round spans.
+func BuildCtx(ctx context.Context, c *webgraph.Corpus, cfg Config, dir string) (*BuildStats, error) {
 	start := time.Now()
-	p, err := partition.Refine(c, cfg.Partition)
+	// The build-wide knobs flow into the refinement stage unless the
+	// caller configured that stage explicitly.
+	pc := cfg.Partition
+	if pc.Workers == 0 {
+		pc.Workers = cfg.BuildWorkers
+	}
+	if pc.IO == nil {
+		pc.IO = cfg.BuildIO
+	}
+	if pc.Metrics == nil {
+		pc.Metrics = cfg.Metrics
+	}
+	p, err := partition.RefineCtx(ctx, c, pc)
 	if err != nil {
 		return nil, err
 	}
-	return BuildFromPartition(c, p, cfg, dir, start)
+	return BuildFromPartitionCtx(ctx, c, p, cfg, dir, start)
 }
 
 // BuildFromPartition builds the representation from an already-computed
 // partition (used by ablation benches that vary the partition).
 func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, dir string, start time.Time) (*BuildStats, error) {
+	return BuildFromPartitionCtx(context.Background(), c, p, cfg, dir, start)
+}
+
+// BuildFromPartitionCtx builds the representation from a partition with
+// context, tracing, and metrics. Supernode encoding fans out over
+// cfg.BuildWorkers while file assembly consumes the encoded blobs
+// through a bounded in-order reorder window (workpool.Ordered), so
+// assembly overlaps encoding and peak memory holds O(window) encoded
+// supernodes instead of all of them. The artifacts are byte-identical
+// for every worker count and window size.
+func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition.Partition, cfg Config, dir string, start time.Time) (*BuildStats, error) {
 	if start.IsZero() {
 		start = time.Now()
 	}
 	if cfg.MaxFileSize <= 0 {
 		return nil, fmt.Errorf("snode: MaxFileSize must be positive")
 	}
+	ctx, span := trace.Start(ctx, "build")
+	defer span.End()
 	n := c.Graph.NumPages()
 
 	// 1. Order supernodes by (domain, first page). Page IDs are sorted
 	// by (domain, URL), so an element's smallest page ID yields exactly
 	// that ordering and keeps each domain's supernodes contiguous.
+	_, ospan := trace.Start(ctx, "build.order")
 	order := make([]int, p.NumElements())
 	for i := range order {
 		order[i] = i
@@ -82,65 +132,69 @@ func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, 
 		}
 	}
 	m.DomFirstSN = append(m.DomFirstSN, int32(len(order)))
+	ospan.SetAttr("supernodes", int64(len(order)))
+	ospan.End()
 
 	// 4. Encode lower-level graphs. Encoding is per-supernode
-	// independent, so it fans out across CPUs; assembly then appends
-	// blobs strictly in supernode order, preserving the §3.3 linear
-	// disk layout (intranode_i followed by its superedges, ascending j)
-	// bit-for-bit identically to a sequential build.
+	// independent, so it fans out across the build workers; assembly
+	// consumes the encoded blobs through a bounded in-order reorder
+	// window (at most `window` encoded supernodes in flight), appending
+	// them strictly in supernode order — the §3.3 linear disk layout
+	// (intranode_i followed by its superedges, ascending j) comes out
+	// bit-for-bit identical to a sequential build, while peak memory is
+	// O(window) instead of O(supernodes).
+	ectx, espan := trace.Start(ctx, "build.encode")
 	out := newFileWriter(dir, cfg.MaxFileSize)
 	nSN := len(order)
 	superDeg := make([]int, nSN) // out-degree in the supernode graph
 	inDeg := make([]int64, nSN)  // superedge in-degree, for Huffman codes
 
-	encoded := make([]*encodedSupernode, nSN)
-	nWorkers := runtime.GOMAXPROCS(0)
-	if nWorkers > nSN {
-		nWorkers = nSN
+	pool := workpool.New(cfg.BuildWorkers)
+	window := cfg.ReorderWindow
+	if window <= 0 {
+		window = 4 * pool.Workers()
 	}
-	if nWorkers < 1 {
-		nWorkers = 1
+	var mEncoded, mSuperedges *metrics.Counter
+	if cfg.Metrics != nil {
+		mEncoded = cfg.Metrics.Counter("build_supernodes_encoded")
+		mSuperedges = cfg.Metrics.Counter("build_superedges")
 	}
-	jobs := make(chan int)
-	errCh := make(chan error, nWorkers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < nWorkers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := bitio.NewWriter(1 << 16)
-			for s := range jobs {
-				es, err := encodeSupernode(c, m, cfg, snOfInternal, int32(s), w)
-				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				encoded[s] = es
+	var writers sync.Pool // *bitio.Writer, reused across encodes per worker
+	encode := func(ctx context.Context, s int) (*encodedSupernode, error) {
+		if hook := encodeFailHook; hook != nil {
+			if err := hook(int32(s)); err != nil {
+				return nil, err
 			}
-		}()
+		}
+		if cfg.BuildIO != nil {
+			// Model streaming this supernode's pages and links out of the
+			// crawl repository.
+			var edges int64
+			for it := m.SnBase[s]; it < m.SnBase[s+1]; it++ {
+				edges += int64(len(c.Graph.Out(m.Inv[it])))
+			}
+			cfg.BuildIO.Scan(ctx, scanPageBytes*int64(m.SnBase[s+1]-m.SnBase[s])+scanEdgeBytes*edges)
+		}
+		w, _ := writers.Get().(*bitio.Writer)
+		if w == nil {
+			w = bitio.NewWriter(1 << 16)
+		}
+		es, err := encodeSupernode(c, m, cfg, snOfInternal, int32(s), w)
+		writers.Put(w)
+		if err != nil {
+			return nil, err
+		}
+		if mEncoded != nil {
+			mEncoded.Inc()
+		}
+		return es, nil
 	}
-	for s := 0; s < nSN; s++ {
-		jobs <- s
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-
-	// Sequential assembly in supernode order.
-	for s := 0; s < nSN; s++ {
-		es := encoded[s]
+	assemble := func(s int, es *encodedSupernode) error {
 		gid, err := out.addBlob(es.intraBlob, dirEntry{
 			Kind: kindIntra, I: int32(s), J: -1, NumLists: m.SnBase[s+1] - m.SnBase[s],
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.IntraGID = append(m.IntraGID, gid)
 		m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
@@ -148,7 +202,7 @@ func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, 
 			e := dirEntry{Kind: sb.kind, I: int32(s), J: sb.j, NumLists: sb.numLists}
 			gid, err := out.addBlob(sb.blob, e)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.SuperAdj = append(m.SuperAdj, sb.j)
 			m.SuperGID = append(m.SuperGID, gid)
@@ -161,7 +215,15 @@ func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, 
 				m.Stats.PositiveSuperedges++
 			}
 		}
-		encoded[s] = nil // release
+		if mSuperedges != nil {
+			mSuperedges.Add(int64(len(es.supers)))
+		}
+		return nil
+	}
+	if err := workpool.Ordered(ectx, pool, nSN, window, encode, assemble); err != nil {
+		out.close()
+		espan.End()
+		return nil, err
 	}
 	m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
 	m.Directory = out.entries
@@ -169,6 +231,11 @@ func BuildFromPartition(c *webgraph.Corpus, p *partition.Partition, cfg Config, 
 	if err := out.close(); err != nil {
 		return nil, err
 	}
+	espan.SetAttr("superedges", m.Stats.Superedges)
+	espan.End()
+
+	_, fspan := trace.Start(ctx, "build.finalize")
+	defer fspan.End()
 
 	// 5. Supernode graph size under the §3.3 encoding: Huffman codes by
 	// in-degree for the targets, gamma-coded degrees, plus a 4-byte

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/partition"
 	"snode/internal/refenc"
 )
@@ -72,6 +73,22 @@ type Config struct {
 	// DisableNegative forces positive superedge graphs everywhere (an
 	// ablation of the §2 pos/neg choice).
 	DisableNegative bool
+	// BuildWorkers bounds the build-side parallelism (refinement rounds
+	// and supernode encoding). <= 0 selects GOMAXPROCS. The artifacts
+	// are byte-identical for every value.
+	BuildWorkers int
+	// ReorderWindow bounds how many encoded-but-unassembled supernodes
+	// the streaming assembly may hold (peak memory O(window) instead of
+	// O(supernodes)). <= 0 selects 4x the effective worker count.
+	ReorderWindow int
+	// BuildIO, when set, charges each repository scan the build performs
+	// (signature reads during clustered splits, page+link reads during
+	// supernode encoding) to the accountant — pacing models the 2002
+	// disk the paper built from, without affecting outputs.
+	BuildIO *iosim.Accountant
+	// Metrics, when set, receives the build_* instruments (split/abort
+	// counters, encode progress, stage latencies).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the standard build configuration.

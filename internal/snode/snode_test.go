@@ -1,14 +1,19 @@
 package snode
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"snode/internal/iosim"
+	"snode/internal/metrics"
 	"snode/internal/store"
 	"snode/internal/synth"
 	"snode/internal/webgraph"
@@ -572,5 +577,118 @@ func TestBuildDeterministic(t *testing.T) {
 					seed, name, h, hb[name])
 			}
 		}
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	// The streaming parallel build must be a pure function of corpus +
+	// config: every BuildWorkers/ReorderWindow/GOMAXPROCS combination
+	// yields byte-identical meta.bin and index files. GOMAXPROCS also
+	// moves the default pool width, so restoring it covers the
+	// unconfigured path.
+	cfg := synth.DefaultConfig(3000)
+	crawl, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	refCfg := DefaultConfig()
+	refCfg.BuildWorkers = 1
+	if _, err := Build(crawl.Corpus, refCfg, refDir); err != nil {
+		t.Fatal(err)
+	}
+	ref := dirHashes(t, refDir)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range []struct {
+		gomaxprocs, workers, window int
+	}{
+		{1, 2, 1},
+		{2, 2, 3},
+		{8, 8, 0}, // default window
+		{8, 0, 0}, // default workers (GOMAXPROCS=8)
+	} {
+		runtime.GOMAXPROCS(tc.gomaxprocs)
+		dir := t.TempDir()
+		bcfg := DefaultConfig()
+		bcfg.BuildWorkers = tc.workers
+		bcfg.ReorderWindow = tc.window
+		if _, err := Build(crawl.Corpus, bcfg, dir); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		got := dirHashes(t, dir)
+		if len(got) != len(ref) {
+			t.Fatalf("%+v: %d files, workers=1 build produced %d", tc, len(got), len(ref))
+		}
+		for name, h := range ref {
+			if got[name] != h {
+				t.Fatalf("%+v: %s differs from workers=1 build (sha256 %s vs %s)",
+					tc, name, got[name], h)
+			}
+		}
+	}
+}
+
+func TestBuildEncodeErrorNoDeadlock(t *testing.T) {
+	// Regression for the pre-streaming encode pipeline: when every
+	// worker exited on an encode error, the producer blocked forever on
+	// an unbuffered jobs channel. Injecting a failure on every supernode
+	// must now surface the error promptly.
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected encode failure")
+	encodeFailHook = func(s int32) error { return boom }
+	defer func() { encodeFailHook = nil }()
+	done := make(chan error, 1)
+	go func() {
+		cfg := DefaultConfig()
+		cfg.BuildWorkers = 4
+		_, err := Build(crawl.Corpus, cfg, t.TempDir())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("error %v, want injected failure", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("build deadlocked on universal encode failure")
+	}
+}
+
+func TestBuildCtxCancelled(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildCtx(ctx, crawl.Corpus, DefaultConfig(), t.TempDir()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildMetricsProgress(t *testing.T) {
+	crawl, err := synth.Generate(synth.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	st, err := Build(crawl.Corpus, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("build_supernodes_encoded").Value(); got != int64(st.Supernodes) {
+		t.Fatalf("build_supernodes_encoded = %d, want %d", got, st.Supernodes)
+	}
+	if got := reg.Counter("build_superedges").Value(); got != st.Superedges {
+		t.Fatalf("build_superedges = %d, want %d", got, st.Superedges)
+	}
+	if got := reg.Counter("build_elements_split").Value(); got != int64(st.URLSplits+st.ClusteredSplits) {
+		t.Fatalf("build_elements_split = %d, want %d", got, st.URLSplits+st.ClusteredSplits)
 	}
 }

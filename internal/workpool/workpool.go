@@ -179,3 +179,167 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(ctx context.Contex
 func (p *Pool) Run(tasks ...func() error) error {
 	return p.ForEach(len(tasks), func(i int) error { return tasks[i]() })
 }
+
+// Ordered computes fn(i) for every i in [0, n) on the pool's workers
+// and delivers each result to consume in strict index order, from the
+// calling goroutine, holding at most window completed-but-undelivered
+// results at any moment. It is the shape of a producer/consumer
+// pipeline whose output must be a deterministic in-order stream while
+// its per-item work fans out: the S-Node builder overlaps supernode
+// encoding with file assembly this way, with peak memory O(window)
+// instead of O(n).
+//
+// Guarantees:
+//   - consume is called for a prefix 0..k of the indices, in order,
+//     never concurrently, and never after an error.
+//   - An error from fn or consume (or ctx cancellation) stops further
+//     dispatch; in-progress items finish and are discarded. When
+//     several items fail concurrently, which error is returned is
+//     unspecified (Ordered prefers the lowest-index one it observes).
+//   - With one worker (or n <= 1) everything runs inline, in order.
+//
+// The results delivered to consume are identical for every pool width,
+// so pipelines built on Ordered are bit-deterministic regardless of
+// GOMAXPROCS provided fn itself is.
+func Ordered[T any](ctx context.Context, p *Pool, n, window int, fn func(ctx context.Context, i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if window < 1 {
+		window = 1
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			p.enter()
+			v, err := fn(ctx, i)
+			p.exit()
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if window > n {
+		window = n
+	}
+
+	type item struct {
+		i   int
+		v   T
+		err error
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	// Window discipline: a worker acquires a token BEFORE claiming an
+	// index and the token stays attached to that index until the
+	// consumer delivers it, so every claimed-but-undelivered index holds
+	// exactly one of the window tokens. That both bounds the reorder
+	// buffer (a claim is always within window of the next delivery) and
+	// guarantees the next-to-deliver index is owned by a worker that
+	// already holds a token — acquiring after claiming would let the
+	// head-of-line index starve behind a window of undeliverable
+	// higher-index results. The results channel is buffered to window
+	// for the same reason: a token-holding worker can always send
+	// without blocking, which keeps shutdown deadlock-free even when
+	// every item errors (the bug this structure replaced: encode workers
+	// exiting early while a producer blocked forever feeding an
+	// unbuffered jobs channel).
+	sem := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		sem <- struct{}{}
+	}
+	results := make(chan item, window)
+	done := make(chan struct{})
+
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				select {
+				case <-done:
+					return
+				case <-sem:
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					// Hand the slot back so a sibling blocked on sem can
+					// wake and discover exhaustion too.
+					sem <- struct{}{}
+					return
+				}
+				p.enter()
+				v, err := fn(ctx, i)
+				p.exit()
+				results <- item{i: i, v: v, err: err}
+			}
+		}()
+	}
+
+	var (
+		firstErr error
+		errIdx   int
+	)
+	fail := func(i int, err error) {
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+	}
+	pending := make(map[int]item, window)
+	nextDeliver := 0
+	for nextDeliver < n && firstErr == nil {
+		select {
+		case it := <-results:
+			pending[it.i] = it
+		case <-ctx.Done():
+			fail(n, ctx.Err())
+		}
+		for firstErr == nil {
+			it, ok := pending[nextDeliver]
+			if !ok {
+				break
+			}
+			delete(pending, nextDeliver)
+			if it.err != nil {
+				fail(it.i, it.err)
+				break
+			}
+			if err := consume(it.i, it.v); err != nil {
+				fail(it.i, err)
+				break
+			}
+			nextDeliver++
+			sem <- struct{}{} // hand the delivered item's token back
+		}
+	}
+	stopped.Store(true)
+	close(done)
+	wg.Wait()
+	// Drain stragglers so a lower-index error, if one raced in, wins.
+	close(results)
+	for it := range results {
+		pending[it.i] = it
+	}
+	for i, it := range pending {
+		if it.err != nil && i < n {
+			fail(i, it.err)
+		}
+	}
+	return firstErr
+}

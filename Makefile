@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism check bench bench-json bench-build clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race check bench bench-json bench-build bench-update clean
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,14 @@ check-overhead:
 test-determinism:
 	$(GO) test -count=1 -run 'TestBuildDeterministic|TestRefineWorkerCountInvariant' ./internal/snode ./internal/partition
 
-check: build vet test test-race check-overhead test-determinism
+# Live-update race suite: concurrent mutators, readers, page adds, and
+# the background compactor (seal / size-tiered merge / fold-back all
+# firing) over one delta overlay, under the race detector. Run with
+# -count=1 so the storm always executes.
+test-delta-race:
+	$(GO) test -race -count=1 -run 'TestChaosReadersWritersCompactor' ./internal/delta
+
+check: build vet test test-race check-overhead test-determinism test-delta-race
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -52,6 +59,14 @@ bench-json:
 # identical at every width (the "identical" column).
 bench-build:
 	$(GO) run ./cmd/snbench -experiment build -pace 0.25 -build-out BENCH_PR4.json
+
+# Serving-under-churn artifact: the six-query mix timed against the
+# bare base store, the empty overlay (pass-through regression check),
+# a hot memtable, sealed segments, the compacted stack, and the
+# post-fold-back state, committed per PR so update-path regressions
+# show up in review.
+bench-update:
+	$(GO) run ./cmd/snbench -experiment update -quick -pace 0.25 -update-out BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

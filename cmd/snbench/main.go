@@ -10,6 +10,7 @@
 //	snbench -experiment ablation  # §3 design-choice studies
 //	snbench -experiment concurrency  # serving throughput vs goroutines
 //	snbench -experiment build        # build wall time vs workers
+//	snbench -experiment update       # serving latency vs delta depth
 //
 // -quick runs a reduced scale for smoke testing.
 package main
@@ -27,13 +28,14 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency, build")
+		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency, build, update")
 	quick := flag.Bool("quick", false, "reduced scale")
 	seed := flag.Uint64("seed", 0, "override corpus seed")
 	workspace := flag.String("workspace", "", "build directory (default: temp)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency and build experiments (0 = full modeled time)")
 	buildOut := flag.String("build-out", "", "write the build-scaling rows as JSON to this file after the run")
+	updateOut := flag.String("update-out", "", "write the serving-under-churn rows as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -178,6 +180,26 @@ func main() {
 			return nil
 		})
 	}
+	if want("update") {
+		run("update", func() error {
+			cfg.Pace = *pace
+			rows, err := bench.Update(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderUpdate(cfg, rows)
+			if *updateOut != "" {
+				if err := bench.UpdateJSON(*updateOut, cfg, rows); err != nil {
+					return err
+				}
+				fmt.Printf("serving-under-churn rows written to %s\n", *updateOut)
+			}
+			if *csvDir != "" {
+				return bench.UpdateCSV(*csvDir, rows)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		run("ablation", func() error {
 			rows, err := bench.Ablations(cfg)
@@ -203,18 +225,7 @@ func main() {
 	}
 
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "snbench: -metrics-out: %v\n", err)
-			os.Exit(1)
-		}
-		snap := cfg.Metrics.Snapshot()
-		if err := snap.WriteJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
+		if err := bench.MetricsJSON(*metricsOut, cfg.Metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: -metrics-out: %v\n", err)
 			os.Exit(1)
 		}

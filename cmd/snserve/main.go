@@ -31,10 +31,27 @@
 // through the engine, cache, and I/O simulator; the slowest per query
 // class are retained and linked from the latency histograms' tail
 // buckets.
+//
+// With -live, the S-Node representations are wrapped in delta overlays
+// (internal/delta) with a background compactor per direction, and the
+// server accepts link mutations while serving:
+//
+//	/update        POST a JSON array of {"src":N,"dst":M,"op":"add"|
+//	               "remove"}; each mutation is applied to the forward
+//	               overlay and mirrored into the reverse one
+//	/healthz       readiness: 200 {"status":"ready"} while serving,
+//	               503 {"status":"draining"} once shutdown has begun
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
+// accepting, in-flight requests drain under the -drain deadline, the
+// compactors stop, and the delta memtables are sealed to disk before
+// exit.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -42,11 +59,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"snode/internal/delta"
 	"snode/internal/iosim"
 	"snode/internal/metrics"
 	"snode/internal/query"
@@ -55,6 +76,7 @@ import (
 	"snode/internal/store"
 	"snode/internal/synth"
 	"snode/internal/trace"
+	"snode/internal/webgraph"
 )
 
 func parseLevels(s string) ([]int, error) {
@@ -81,6 +103,8 @@ type options struct {
 	listen     string
 	traceEvery int
 	traceSlow  int
+	live       bool
+	drain      time.Duration
 }
 
 // validate rejects flag combinations that would previously slip
@@ -106,6 +130,9 @@ func validate(o *options) error {
 	if o.traceSlow < 1 {
 		return fmt.Errorf("-trace-slow must be >= 1 (got %d)", o.traceSlow)
 	}
+	if o.drain <= 0 {
+		return fmt.Errorf("-drain must be a positive duration (got %v)", o.drain)
+	}
 	return nil
 }
 
@@ -121,6 +148,8 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/traces on this address (e.g. :8080; empty disables)")
 	flag.IntVar(&o.traceEvery, "trace-every", 64, "trace 1 in N queries (0 disables tracing)")
 	flag.IntVar(&o.traceSlow, "trace-slow", 4, "retain the N slowest traces per query class")
+	flag.BoolVar(&o.live, "live", false, "wrap the representations in delta overlays and accept POST /update mutations while serving")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -139,15 +168,90 @@ func main() {
 	}
 }
 
-// startHTTP binds the observability endpoint and serves it in the
-// background, returning the bound address (resolving :0). tracer may
-// be nil (tracing disabled), in which case /debug/traces serves an
-// empty list.
-func startHTTP(addr string, reg *metrics.Registry, tracer *trace.Tracer) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("-listen %s: %w", addr, err)
+// liveState is the serving process's mutable state: the delta overlays
+// when -live is set, and the readiness flag /healthz reports. draining
+// flips once, when shutdown begins.
+type liveState struct {
+	fwd, rev *delta.Overlay // nil without -live
+	draining atomic.Bool
+}
+
+// handleHealth reports ready (200) or draining (503) as JSON.
+func (s *liveState) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ready"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
 	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+}
+
+// updateOp is one mutation in a POST /update body.
+type updateOp struct {
+	Src int32  `json:"src"`
+	Dst int32  `json:"dst"`
+	Op  string `json:"op"` // "add" or "remove"
+}
+
+// handleUpdate applies a JSON array of link mutations to the forward
+// overlay and mirrors it into the reverse one, so both navigation
+// directions stay consistent (the transposed edge set).
+func (s *liveState) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.fwd == nil {
+		http.Error(w, "server not started with -live", http.StatusServiceUnavailable)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var ops []updateOp
+	if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
+		http.Error(w, fmt.Sprintf("bad body: %v", err), http.StatusBadRequest)
+		return
+	}
+	fwd := make([]delta.Mutation, 0, len(ops))
+	rev := make([]delta.Mutation, 0, len(ops))
+	for i, op := range ops {
+		var kind delta.Op
+		switch op.Op {
+		case "add":
+			kind = delta.OpAdd
+		case "remove":
+			kind = delta.OpRemove
+		default:
+			http.Error(w, fmt.Sprintf("op %d: unknown kind %q", i, op.Op), http.StatusBadRequest)
+			return
+		}
+		fwd = append(fwd, delta.Mutation{Src: webgraph.PageID(op.Src), Dst: webgraph.PageID(op.Dst), Op: kind})
+		rev = append(rev, delta.Mutation{Src: webgraph.PageID(op.Dst), Dst: webgraph.PageID(op.Src), Op: kind})
+	}
+	ctx := r.Context()
+	if err := s.fwd.Apply(ctx, fwd); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.rev.Apply(ctx, rev); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"applied": len(fwd),
+		"delta":   s.fwd.DeltaStatsNow(),
+	})
+}
+
+// buildMux assembles the HTTP surface. tracer may be nil (tracing
+// disabled), in which case /debug/traces serves an empty list.
+func buildMux(reg *metrics.Registry, tracer *trace.Tracer, state *liveState) *http.ServeMux {
 	expvar.Publish("snode", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -158,8 +262,26 @@ func startHTTP(addr string, reg *metrics.Registry, tracer *trace.Tracer) (string
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	mux.HandleFunc("/healthz", state.handleHealth)
+	mux.HandleFunc("/update", state.handleUpdate)
+	return mux
+}
+
+// startHTTP binds the endpoint and serves mux in the background,
+// returning the server (for Shutdown) and the bound address
+// (resolving :0).
+func startHTTP(addr string, mux *http.ServeMux) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "snserve: http: %v\n", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
 }
 
 // cacheDelta sums a cache counter's per-level movement over the fwd and
@@ -174,6 +296,11 @@ func cacheDelta(prev, cur metrics.Snapshot, counter string) int64 {
 }
 
 func serve(o *options) error {
+	// SIGINT/SIGTERM cancels this context; everything downstream —
+	// query levels, compactors, the HTTP drain — hangs off it.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	ws := o.workspace
 	if ws == "" {
 		dir, err := os.MkdirTemp("", "snserve-*")
@@ -201,7 +328,49 @@ func serve(o *options) error {
 		return err
 	}
 	defer r.Close()
-	e, err := query.New(r, repo.SchemeSNode)
+
+	// With -live, layer delta overlays over both directions and serve
+	// queries through them; a background compactor per direction seals
+	// and merges while traffic runs. Without -live the engine reads the
+	// bare representations.
+	state := &liveState{}
+	serveRepo := r
+	var compactors []*delta.Compactor
+	if o.live {
+		mk := func(base store.LinkStore, name string) (*delta.Overlay, error) {
+			return delta.NewOverlay(base, delta.Config{
+				Pages: crawl.Corpus.Pages,
+				Dir:   filepath.Join(ws, "delta."+name),
+				Model: opt.Model,
+			})
+		}
+		if state.fwd, err = mk(r.Fwd[repo.SchemeSNode], "fwd"); err != nil {
+			return err
+		}
+		defer state.fwd.Close()
+		if state.rev, err = mk(r.Rev[repo.SchemeSNode], "rev"); err != nil {
+			return err
+		}
+		defer state.rev.Close()
+		serveRepo = &repo.Repository{
+			Corpus:   r.Corpus,
+			Text:     r.Text,
+			PageRank: r.PageRank,
+			Domains:  r.Domains,
+			Model:    r.Model,
+			Fwd:      map[string]store.LinkStore{repo.SchemeSNode: state.fwd},
+			Rev:      map[string]store.LinkStore{repo.SchemeSNode: state.rev},
+		}
+		for _, ov := range []*delta.Overlay{state.fwd, state.rev} {
+			compactors = append(compactors, delta.StartCompactor(ctx, ov, delta.CompactorConfig{
+				OnError: func(err error) {
+					fmt.Fprintf(os.Stderr, "snserve: compactor: %v\n", err)
+				},
+			}))
+		}
+		fmt.Println("live updates enabled: POST /update, delta overlays compacting in background")
+	}
+	e, err := query.New(serveRepo, repo.SchemeSNode)
 	if err != nil {
 		return err
 	}
@@ -218,22 +387,33 @@ func serve(o *options) error {
 		tracer = trace.New(trace.Config{SampleEvery: o.traceEvery, SlowPerClass: o.traceSlow})
 		e.SetTracer(tracer)
 	}
-	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
 	prefixes := []string{"snode_fwd", "snode_rev"}
-	for i, s := range stores {
+	for i, s := range []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]} {
 		if sn, ok := s.(*snode.Representation); ok {
 			sn.RegisterMetrics(reg, prefixes[i])
 		}
+	}
+	// Pace (and later reset) the stores the engine actually reads: the
+	// overlays when live — they forward to the base and also pace their
+	// own segment reads — or the bare representations otherwise.
+	stores := []store.LinkStore{serveRepo.Fwd[repo.SchemeSNode], serveRepo.Rev[repo.SchemeSNode]}
+	for _, s := range stores {
 		if p, ok := s.(store.Pacer); ok {
 			p.SetPace(o.pace)
 		}
 	}
+	if o.live {
+		state.fwd.RegisterMetrics(reg, "delta_fwd")
+		state.rev.RegisterMetrics(reg, "delta_rev")
+	}
+	var srv *http.Server
 	if o.listen != "" {
-		addr, err := startHTTP(o.listen, reg, tracer)
+		var addr string
+		srv, addr, err = startHTTP(o.listen, buildMux(reg, tracer, state))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof, /debug/traces)\n", addr)
+		fmt.Printf("metrics on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/traces)\n", addr)
 	}
 
 	var jobs []query.ID
@@ -254,7 +434,11 @@ func serve(o *options) error {
 		}
 		prev := reg.Snapshot()
 		start := time.Now()
-		if _, err := e.RunParallel(context.Background(), jobs, g); err != nil {
+		if _, err := e.RunParallel(ctx, jobs, g); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("\ninterrupted; shutting down")
+				break
+			}
 			return fmt.Errorf("level %d: %w", g, err)
 		}
 		elapsed := time.Since(start)
@@ -314,9 +498,42 @@ func serve(o *options) error {
 			fmt.Println("  (inspect with /debug/traces?id=N, or &format=chrome for chrome://tracing)")
 		}
 	}
-	if o.listen != "" {
-		fmt.Println("\nserving complete; metrics endpoint stays up until interrupted (ctrl-C to exit)")
-		select {}
+	if o.listen != "" && ctx.Err() == nil {
+		fmt.Println("\nserving complete; endpoints stay up until SIGINT/SIGTERM")
+		<-ctx.Done()
+	}
+	return shutdown(o, state, srv, compactors)
+}
+
+// shutdown drains the server and persists the live state: /healthz
+// flips to draining, the listener stops accepting and in-flight
+// requests finish under the -drain deadline, the compactors stop, and
+// the delta memtables are sealed to disk so no accepted mutation is
+// lost at exit.
+func shutdown(o *options, state *liveState, srv *http.Server, compactors []*delta.Compactor) error {
+	state.draining.Store(true)
+	if srv != nil {
+		fmt.Printf("draining in-flight requests (deadline %v)...\n", o.drain)
+		dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "snserve: drain deadline exceeded, closing: %v\n", err)
+			srv.Close()
+		}
+	}
+	for _, c := range compactors {
+		c.Stop()
+	}
+	if state.fwd != nil {
+		fmt.Println("sealing delta memtables...")
+		for _, ov := range []*delta.Overlay{state.fwd, state.rev} {
+			if err := ov.Seal(context.Background()); err != nil {
+				return fmt.Errorf("seal: %w", err)
+			}
+		}
+		ds := state.fwd.DeltaStatsNow()
+		fmt.Printf("delta state at exit: %d applied ops in %d segment(s)\n",
+			ds.AppliedOps, ds.Segments)
 	}
 	return nil
 }

@@ -303,3 +303,46 @@ func TestBuildScalingSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUpdateSmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.Pace = 0.05 // keep the paced smoke run short
+	rows, err := Update(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"base-direct", "overlay-empty", "memtable", "segments-4", "compacted", "folded"}
+	if len(rows) != len(wantStages) {
+		t.Fatalf("%d rows, want %d", len(rows), len(wantStages))
+	}
+	for i, r := range rows {
+		if r.Stage != wantStages[i] {
+			t.Fatalf("row %d: stage %q, want %q", i, r.Stage, wantStages[i])
+		}
+		if r.QPS <= 0 || r.Queries != servingRounds*6 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	if rows[2].DeltaEntries == 0 || rows[3].Segments != 2*updateSegments {
+		t.Fatalf("delta depths not exercised: %+v / %+v", rows[2], rows[3])
+	}
+	if rows[5].DeltaEntries != 0 || rows[5].Segments != 0 {
+		t.Fatalf("fold-back left residue: %+v", rows[5])
+	}
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderUpdate(cfg, rows)
+	if !strings.Contains(sb.String(), "vs-base") {
+		t.Fatal("render output missing header")
+	}
+}
+
+func TestProvenanceStamp(t *testing.T) {
+	p := NewProvenance()
+	if p.GoMaxProcs <= 0 || p.NumCPU <= 0 || p.GoVersion == "" || p.Timestamp == "" {
+		t.Fatalf("degenerate provenance %+v", p)
+	}
+	if len(p.GitCommit) != 40 && p.GitCommit != "unknown" {
+		t.Fatalf("git commit %q is neither a hash nor the fallback", p.GitCommit)
+	}
+}

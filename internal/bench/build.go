@@ -223,10 +223,11 @@ func BuildScalingJSON(path string, cfg Config, rows []BuildRow) error {
 	}
 	doc := struct {
 		Experiment string     `json:"experiment"`
+		Provenance Provenance `json:"provenance"`
 		Pages      int        `json:"pages"`
 		Pace       float64    `json:"pace"`
 		Rows       []BuildRow `json:"rows"`
-	}{Experiment: "build_scaling", Pages: cfg.QuerySize, Pace: pace, Rows: rows}
+	}{Experiment: "build_scaling", Provenance: NewProvenance(), Pages: cfg.QuerySize, Pace: pace, Rows: rows}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"snode/internal/metrics"
+)
+
+// Provenance stamps a committed benchmark artifact with enough of the
+// run environment to interpret the numbers later: which commit the
+// binary was built from, when the run happened, and how much
+// parallelism the host offered. Every snbench JSON output embeds one.
+type Provenance struct {
+	GitCommit  string `json:"git_commit"`
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// NewProvenance captures the current run environment. The commit hash
+// is read from git; outside a checkout it reads "unknown".
+func NewProvenance() Provenance {
+	commit := "unknown"
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			commit = s
+		}
+	}
+	return Provenance{
+		GitCommit:  commit,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// MetricsJSON writes a registry snapshot to path wrapped with run
+// provenance (the form cmd/snbench -metrics-out archives).
+func MetricsJSON(path string, reg *metrics.Registry) error {
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		return err
+	}
+	doc := struct {
+		Provenance Provenance      `json:"provenance"`
+		Metrics    json.RawMessage `json:"metrics"`
+	}{NewProvenance(), json.RawMessage(bytes.TrimSpace(buf.Bytes()))}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"snode/internal/delta"
+	"snode/internal/query"
+	"snode/internal/randutil"
+	"snode/internal/repo"
+	"snode/internal/store"
+	"snode/internal/webgraph"
+)
+
+// The serving-under-churn experiment: the delta overlay keeps an
+// S-Node repository queryable while link mutations stream in, at the
+// price of merging the update layers into every lookup. This
+// experiment charts that price as a latency-vs-delta-depth curve: the
+// six-query mix is timed against the bare base store, an empty overlay
+// (the pass-through regression check), a hot memtable, a stack of
+// sealed segments, the compacted stack, and finally the overlay after
+// a fold-back has rebuilt the base — which must land back at
+// pass-through cost.
+
+// UpdateRow is one delta depth of the churn experiment.
+type UpdateRow struct {
+	// Stage names the overlay state the mix was timed against.
+	Stage string `json:"stage"`
+	// DeltaEntries is the live mutation-record count across layers.
+	DeltaEntries int64 `json:"delta_entries"`
+	// Segments is the sealed-segment count at measurement time.
+	Segments int `json:"segments"`
+	Queries  int `json:"queries"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	// VsBase is Elapsed over the base-direct row's Elapsed; the
+	// "overlay-empty" row's value is the pass-through overhead.
+	VsBase float64 `json:"vs_base"`
+}
+
+// updateGoroutines is the fixed serving width; the experiment varies
+// delta depth, not concurrency (that's the concurrency experiment).
+const updateGoroutines = 4
+
+// updateSegments is how many sealed batches the segmented stage holds.
+const updateSegments = 4
+
+// genChurn produces a deterministic mutation log over existing pages:
+// half removals of real edges, half additions of random ones. Links
+// between existing pages only, so the text/rank/domain indexes the
+// queries consult stay valid throughout.
+func genChurn(g *webgraph.Graph, rng *randutil.RNG, n int) []delta.Mutation {
+	np := g.NumPages()
+	muts := make([]delta.Mutation, 0, n)
+	for len(muts) < n {
+		if rng.Intn(2) == 0 {
+			s := webgraph.PageID(rng.Intn(np))
+			out := g.Out(s)
+			if len(out) == 0 {
+				continue
+			}
+			muts = append(muts, delta.Mutation{Src: s, Dst: out[rng.Intn(len(out))], Op: delta.OpRemove})
+		} else {
+			muts = append(muts, delta.Mutation{
+				Src: webgraph.PageID(rng.Intn(np)),
+				Dst: webgraph.PageID(rng.Intn(np)),
+				Op:  delta.OpAdd,
+			})
+		}
+	}
+	return muts
+}
+
+// mirrorChurn transposes a mutation log for the reverse overlay, the
+// way the repo builder materializes WGT next to WG.
+func mirrorChurn(muts []delta.Mutation) []delta.Mutation {
+	out := make([]delta.Mutation, len(muts))
+	for i, m := range muts {
+		out[i] = delta.Mutation{Src: m.Dst, Dst: m.Src, Op: m.Op}
+	}
+	return out
+}
+
+// Update runs the churn experiment over an S-Node repository built at
+// cfg.QuerySize with cfg.QueryBudget of buffer, iosim pacing on.
+func Update(cfg Config) ([]UpdateRow, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	opt := repo.DefaultOptions(filepath.Join(ws, "updaterepo"))
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.CacheBudget = cfg.QueryBudget
+	opt.Model = cfg.Model
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	mkOverlay := func(base store.LinkStore, dir string) (*delta.Overlay, error) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		return delta.NewOverlay(base, delta.Config{
+			Pages: crawl.Corpus.Pages,
+			Dir:   dir,
+			Model: cfg.Model,
+		})
+	}
+	fwdOv, err := mkOverlay(r.Fwd[repo.SchemeSNode], filepath.Join(ws, "delta.fwd"))
+	if err != nil {
+		return nil, err
+	}
+	defer fwdOv.Close()
+	revOv, err := mkOverlay(r.Rev[repo.SchemeSNode], filepath.Join(ws, "delta.rev"))
+	if err != nil {
+		return nil, err
+	}
+	defer revOv.Close()
+
+	// The live repository: overlays in the serving path, every index
+	// shared with the base build.
+	live := &repo.Repository{
+		Corpus:   r.Corpus,
+		Text:     r.Text,
+		PageRank: r.PageRank,
+		Domains:  r.Domains,
+		Model:    r.Model,
+		Fwd:      map[string]store.LinkStore{repo.SchemeSNode: fwdOv},
+		Rev:      map[string]store.LinkStore{repo.SchemeSNode: revOv},
+	}
+	liveEngine, err := query.New(live, repo.SchemeSNode)
+	if err != nil {
+		return nil, err
+	}
+	baseEngine, err := query.New(r, repo.SchemeSNode)
+	if err != nil {
+		return nil, err
+	}
+
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	paced := []store.LinkStore{fwdOv, revOv, r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
+	for _, s := range paced {
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(pace)
+		}
+	}
+	defer func() {
+		for _, s := range paced {
+			if p, ok := s.(store.Pacer); ok {
+				p.SetPace(0)
+			}
+		}
+	}()
+
+	var jobs []query.ID
+	for i := 0; i < servingRounds; i++ {
+		jobs = append(jobs, query.All()...)
+	}
+
+	var rows []UpdateRow
+	measure := func(stage string, e *query.Engine) error {
+		// Cold start per stage, same budget: rows differ only in the
+		// delta layers merged into each lookup.
+		for _, s := range paced {
+			if cr, ok := s.(store.CacheResetter); ok {
+				cr.ResetCache(cfg.QueryBudget)
+			}
+		}
+		start := time.Now()
+		if _, err := e.RunParallel(context.Background(), jobs, updateGoroutines); err != nil {
+			return fmt.Errorf("bench: update stage %s: %w", stage, err)
+		}
+		elapsed := time.Since(start)
+		row := UpdateRow{
+			Stage:        stage,
+			DeltaEntries: fwdOv.DeltaEntries() + revOv.DeltaEntries(),
+			Segments:     fwdOv.SegmentCount() + revOv.SegmentCount(),
+			Queries:      len(jobs),
+			Elapsed:      elapsed,
+			QPS:          float64(len(jobs)) / elapsed.Seconds(),
+			VsBase:       1,
+		}
+		if len(rows) > 0 && rows[0].Elapsed > 0 {
+			row.VsBase = elapsed.Seconds() / rows[0].Elapsed.Seconds()
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	ctx := context.Background()
+	if err := measure("base-direct", baseEngine); err != nil {
+		return nil, err
+	}
+	if err := measure("overlay-empty", liveEngine); err != nil {
+		return nil, err
+	}
+
+	// Stream the churn in: one hot memtable's worth first, then seal a
+	// batch at a time until the segmented stage.
+	rng := randutil.NewRNG(cfg.Seed + 5)
+	batch := cfg.QuerySize / 8
+	apply := func(n int) error {
+		muts := genChurn(crawl.Corpus.Graph, rng, n)
+		if err := fwdOv.Apply(ctx, muts); err != nil {
+			return err
+		}
+		return revOv.Apply(ctx, mirrorChurn(muts))
+	}
+	if err := apply(batch); err != nil {
+		return nil, err
+	}
+	if err := measure("memtable", liveEngine); err != nil {
+		return nil, err
+	}
+	for i := 0; i < updateSegments; i++ {
+		if i > 0 {
+			if err := apply(batch); err != nil {
+				return nil, err
+			}
+		}
+		if err := fwdOv.Seal(ctx); err != nil {
+			return nil, err
+		}
+		if err := revOv.Seal(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if err := measure(fmt.Sprintf("segments-%d", updateSegments), liveEngine); err != nil {
+		return nil, err
+	}
+
+	// Compacted: size-tiered merges down to a single segment per side.
+	for _, o := range []*delta.Overlay{fwdOv, revOv} {
+		for o.SegmentCount() > 1 {
+			did, err := o.MergeOnce(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !did {
+				break
+			}
+		}
+	}
+	if err := measure("compacted", liveEngine); err != nil {
+		return nil, err
+	}
+
+	// Fold-back: both overlays rebuild their base; serving cost must
+	// return to the pass-through row's neighbourhood.
+	for i, o := range []*delta.Overlay{fwdOv, revOv} {
+		if _, err := o.FoldBack(ctx, delta.FoldConfig{
+			SNode:       opt.SNode,
+			Dir:         filepath.Join(ws, fmt.Sprintf("fold.%d", i)),
+			CacheBudget: cfg.QueryBudget,
+			Model:       cfg.Model,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := measure("folded", liveEngine); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderUpdate prints the latency-vs-delta-depth table.
+func RenderUpdate(cfg Config, rows []UpdateRow) {
+	w := cfg.out()
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	fmt.Fprintf(w, "Serving under churn: query mix vs delta depth (%d pages, %d KB buffer, %d goroutines, paced disk x%.2f)\n",
+		cfg.QuerySize, cfg.QueryBudget>>10, updateGoroutines, pace)
+	fmt.Fprintf(w, "%14s %9s %9s %8s %12s %10s %8s\n",
+		"stage", "entries", "segments", "queries", "elapsed", "qps", "vs-base")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%14s %9d %9d %8d %12v %10.1f %7.2fx\n",
+			r.Stage, r.DeltaEntries, r.Segments, r.Queries,
+			r.Elapsed.Round(time.Millisecond), r.QPS, r.VsBase)
+	}
+	fmt.Fprintln(w, "(delta layers merge into every lookup; fold-back returns the path to pass-through cost)")
+	fmt.Fprintln(w)
+}
+
+// UpdateJSON writes the rows (plus scale parameters and run
+// provenance) as the committed benchmark artifact.
+func UpdateJSON(path string, cfg Config, rows []UpdateRow) error {
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	doc := struct {
+		Experiment string      `json:"experiment"`
+		Provenance Provenance  `json:"provenance"`
+		Pages      int         `json:"pages"`
+		Pace       float64     `json:"pace"`
+		Goroutines int         `json:"goroutines"`
+		Rows       []UpdateRow `json:"rows"`
+	}{
+		Experiment: "update",
+		Provenance: NewProvenance(),
+		Pages:      cfg.QuerySize,
+		Pace:       pace,
+		Goroutines: updateGoroutines,
+		Rows:       rows,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// UpdateCSV writes the rows in the bench CSV convention.
+func UpdateCSV(dir string, rows []UpdateRow) error {
+	f, err := os.Create(filepath.Join(dir, "update.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "stage,delta_entries,segments,queries,elapsed_ms,qps,vs_base")
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s,%d,%d,%d,%.1f,%.1f,%.3f\n",
+			r.Stage, r.DeltaEntries, r.Segments, r.Queries,
+			float64(r.Elapsed.Microseconds())/1e3, r.QPS, r.VsBase)
+	}
+	return f.Close()
+}

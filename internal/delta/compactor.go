@@ -1,0 +1,136 @@
+package delta
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"snode/internal/trace"
+)
+
+// CompactorConfig sets the background maintenance policy.
+type CompactorConfig struct {
+	// Interval is the poll cadence (default 250ms).
+	Interval time.Duration
+	// SealBytes seals the active memtable into a segment once its
+	// accounted footprint reaches this many bytes (default 1 MiB).
+	SealBytes int64
+	// MaxSegments is the size-tiered trigger: while more than this many
+	// segments exist, the adjacent pair with the smallest combined size
+	// is merged (default 4).
+	MaxSegments int
+	// FoldEntries triggers a full fold-back into a fresh S-Node build
+	// once the total live delta records reach this count. Zero disables
+	// automatic fold-back (Overlay.FoldBack stays available manually);
+	// when set, Fold must be too.
+	FoldEntries int64
+	// Fold parameterizes automatic fold-backs.
+	Fold FoldConfig
+	// OnError observes background failures (default: ignore; the next
+	// tick retries). Called from the compactor goroutine.
+	OnError func(error)
+}
+
+func (c *CompactorConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.SealBytes <= 0 {
+		c.SealBytes = 1 << 20
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 4
+	}
+}
+
+// Compactor is the overlay's background maintenance goroutine: it
+// seals full memtables, merges small segments size-tiered, and — when
+// configured — folds the whole overlay back into a fresh S-Node build.
+// All work honours the context StartCompactor was given; Stop cancels
+// it and waits the goroutine out.
+type Compactor struct {
+	o      *Overlay
+	cfg    CompactorConfig
+	cancel context.CancelFunc
+	done   chan struct{}
+	stop   sync.Once
+}
+
+// StartCompactor launches the maintenance loop over o. The returned
+// Compactor must be Stopped before the overlay is Closed.
+func StartCompactor(ctx context.Context, o *Overlay, cfg CompactorConfig) *Compactor {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(ctx)
+	c := &Compactor{o: o, cfg: cfg, cancel: cancel, done: make(chan struct{})}
+	go c.run(ctx)
+	return c
+}
+
+// Stop cancels in-flight maintenance and waits for the goroutine to
+// exit. Safe to call more than once.
+func (c *Compactor) Stop() {
+	c.stop.Do(c.cancel)
+	<-c.done
+}
+
+func (c *Compactor) run(ctx context.Context) {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if err := c.RunOnce(ctx); err != nil && ctx.Err() == nil && c.cfg.OnError != nil {
+			c.cfg.OnError(err)
+		}
+	}
+}
+
+// RunOnce performs one maintenance pass: seal if the memtable is over
+// budget, merge segments down to the tier limit, fold back if the
+// delta has grown past the fold threshold. Exported so tests and the
+// update experiment can drive compaction deterministically; on traced
+// contexts the pass records a "compact.run" span.
+func (c *Compactor) RunOnce(ctx context.Context) error {
+	traced := trace.Active(ctx)
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	var sealed, merges, folded int64
+	if c.o.MemtableBytes() >= c.cfg.SealBytes {
+		if err := c.o.Seal(ctx); err != nil {
+			return err
+		}
+		sealed = 1
+	}
+	for c.o.SegmentCount() > c.cfg.MaxSegments {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		did, err := c.o.MergeOnce(ctx)
+		if err != nil {
+			return err
+		}
+		if !did {
+			break
+		}
+		merges++
+	}
+	if c.cfg.FoldEntries > 0 && c.o.DeltaEntries() >= c.cfg.FoldEntries {
+		if _, err := c.o.FoldBack(ctx, c.cfg.Fold); err != nil {
+			return err
+		}
+		folded = 1
+	}
+	if traced {
+		trace.RecordSpan(ctx, "compact.run", start, time.Since(start),
+			trace.Attr{Key: "sealed", Val: sealed},
+			trace.Attr{Key: "merges", Val: merges},
+			trace.Attr{Key: "folded", Val: folded})
+	}
+	return nil
+}

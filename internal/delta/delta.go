@@ -1,0 +1,82 @@
+// Package delta adds live-update support to the otherwise immutable
+// graph representations: a log-structured overlay in the LSM style
+// layered over any store.LinkStore.
+//
+// The paper's S-Node layout (and all four baselines) is built once from
+// a frozen crawl; WebBase-style repositories, however, are refreshed by
+// incremental crawls, and the survey literature (PAPERS.md, Besta &
+// Hoefler's compression taxonomy) names update support as the standing
+// weakness of compressed static layouts. Rather than mutate the packed
+// representation in place — which would destroy the reference-encoded
+// clustering the compression wins come from — the overlay keeps the
+// base immutable and layers mutations on top:
+//
+//	base (immutable LinkStore)
+//	  < delta segments, oldest .. newest  (sorted, immutable, on disk)
+//	    < sealing memtables               (frozen, being written out)
+//	      < active memtable               (sharded, mutex per shard)
+//
+// A link's effective state is decided by the newest layer that mentions
+// the (src, dst) pair: an add inserts the edge, a remove shadows it
+// even when the base contains it. Reads merge all layers; pages no
+// layer mentions take a pass-through fast path straight to the base
+// store, so a zero-delta overlay serves within noise of the bare store.
+//
+// Segment reads are charged through the same iosim accounting as every
+// other representation, so the modeled cost of update depth is visible
+// to the experiments, and a background Compactor merges small segments
+// under a size-tiered policy and can fold the whole overlay back into a
+// fresh S-Node build through the existing parallel builder.
+package delta
+
+import (
+	"fmt"
+
+	"snode/internal/webgraph"
+)
+
+// Op is the kind of one link mutation.
+type Op uint8
+
+const (
+	// OpAdd inserts the link (a no-op when the newest prior state
+	// already contains it).
+	OpAdd Op = 1
+	// OpRemove deletes the link, shadowing the base representation.
+	OpRemove Op = 2
+)
+
+// String renders the op for errors and logs.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mutation is one link change: Src gains or loses the out-link to Dst.
+// Callers serving a transposed representation mirror each mutation
+// (Dst, Src) into the reverse overlay themselves, exactly as the repo
+// builder materializes WGT next to WG.
+type Mutation struct {
+	Src webgraph.PageID
+	Dst webgraph.PageID
+	Op  Op
+}
+
+// Validate rejects malformed mutations before they reach a layer.
+func (m Mutation) Validate(numPages int) error {
+	if m.Op != OpAdd && m.Op != OpRemove {
+		return fmt.Errorf("delta: unknown op %d", m.Op)
+	}
+	if m.Src < 0 || int(m.Src) >= numPages {
+		return fmt.Errorf("delta: source page %d out of range [0,%d)", m.Src, numPages)
+	}
+	if m.Dst < 0 || int(m.Dst) >= numPages {
+		return fmt.Errorf("delta: target page %d out of range [0,%d)", m.Dst, numPages)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package delta
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snode/internal/webgraph"
+)
+
+// memtableShards fixes the shard count. Sixteen shards keep writer
+// contention negligible at the goroutine counts the serving experiments
+// run, while a whole-table snapshot still only walks sixteen maps.
+const memtableShards = 16
+
+// memEntryBytes is the accounting cost of one (src, dst, op) entry —
+// the rough in-memory footprint the delta_memtable_bytes gauge reports
+// and the seal threshold compares against.
+const memEntryBytes = 16
+
+// memtable is the concurrent in-memory top layer of the overlay:
+// per-source latest-wins op maps, sharded by source page with a mutex
+// per shard. A memtable is either active (accepting Apply) or sealed
+// (immutable, being written into a segment); the sealed flag plus a
+// per-shard lock barrier makes the handoff race-free without a global
+// write lock.
+type memtable struct {
+	shards  [memtableShards]memtableShard
+	sealed  atomic.Bool
+	entries atomic.Int64
+}
+
+type memtableShard struct {
+	mu    sync.Mutex
+	pages map[webgraph.PageID]map[webgraph.PageID]Op
+}
+
+func newMemtable() *memtable {
+	mt := &memtable{}
+	for i := range mt.shards {
+		mt.shards[i].pages = map[webgraph.PageID]map[webgraph.PageID]Op{}
+	}
+	return mt
+}
+
+func shardOf(p webgraph.PageID) int {
+	// Multiplicative hash: adjacent page IDs land on distinct shards,
+	// so a writer stream walking a page range spreads out.
+	return int((uint32(p) * 0x9E3779B1) >> 28)
+}
+
+// apply records one mutation. It reports false when the memtable was
+// sealed before the shard lock was acquired — the caller must reload
+// the active memtable and retry, so no mutation lands in a table that
+// a concurrent seal already snapshotted.
+func (mt *memtable) apply(m Mutation) bool {
+	sh := &mt.shards[shardOf(m.Src)]
+	sh.mu.Lock()
+	if mt.sealed.Load() {
+		sh.mu.Unlock()
+		return false
+	}
+	ops := sh.pages[m.Src]
+	if ops == nil {
+		ops = map[webgraph.PageID]Op{}
+		sh.pages[m.Src] = ops
+	}
+	if _, existed := ops[m.Dst]; !existed {
+		mt.entries.Add(1)
+	}
+	ops[m.Dst] = m.Op
+	sh.mu.Unlock()
+	return true
+}
+
+// seal freezes the memtable: after it returns, every in-flight apply
+// has either completed (and will be in the snapshot) or will observe
+// the sealed flag and retry elsewhere. The flag is published first,
+// then each shard lock is taken once as a barrier.
+func (mt *memtable) seal() {
+	mt.sealed.Store(true)
+	for i := range mt.shards {
+		mt.shards[i].mu.Lock()
+		//lint:ignore SA2001 empty critical section: the acquire/release
+		// pair is the barrier that waits out in-flight appliers.
+		mt.shards[i].mu.Unlock()
+	}
+}
+
+// hasPage reports whether any mutation touches src's adjacency.
+func (mt *memtable) hasPage(src webgraph.PageID) bool {
+	sh := &mt.shards[shardOf(src)]
+	sh.mu.Lock()
+	_, ok := sh.pages[src]
+	sh.mu.Unlock()
+	return ok
+}
+
+// opsInto merges src's ops into dst (latest-wins is the caller's
+// concern: layers are visited oldest to newest, so overwriting is
+// exactly the shadowing rule).
+func (mt *memtable) opsInto(src webgraph.PageID, dst map[webgraph.PageID]Op) {
+	sh := &mt.shards[shardOf(src)]
+	sh.mu.Lock()
+	for d, op := range sh.pages[src] {
+		dst[d] = op
+	}
+	sh.mu.Unlock()
+}
+
+// len reports the entry count ((src,dst) pairs, latest op each).
+func (mt *memtable) len() int64 { return mt.entries.Load() }
+
+// bytes reports the accounted in-memory footprint.
+func (mt *memtable) bytes() int64 { return mt.entries.Load() * memEntryBytes }
+
+// pageOps is one source page's sorted mutation list, the unit the
+// segment format stores.
+type pageOps struct {
+	src webgraph.PageID
+	ops []dstOp
+}
+
+type dstOp struct {
+	dst webgraph.PageID
+	op  Op
+}
+
+// snapshot returns the memtable's contents sorted by (src, dst). Call
+// only after seal (or on a table no writer can reach); shard locks are
+// still taken, keeping the race detector's model exact.
+func (mt *memtable) snapshot() []pageOps {
+	var out []pageOps
+	for i := range mt.shards {
+		sh := &mt.shards[i]
+		sh.mu.Lock()
+		for src, ops := range sh.pages {
+			po := pageOps{src: src, ops: make([]dstOp, 0, len(ops))}
+			for d, op := range ops {
+				po.ops = append(po.ops, dstOp{dst: d, op: op})
+			}
+			out = append(out, po)
+		}
+		sh.mu.Unlock()
+	}
+	for i := range out {
+		sort.Slice(out[i].ops, func(a, b int) bool { return out[i].ops[a].dst < out[i].ops[b].dst })
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].src < out[b].src })
+	return out
+}

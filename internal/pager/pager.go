@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"snode/internal/iosim"
 )
@@ -24,14 +25,19 @@ const PageSize = 8192
 // ErrReadOnly is returned on writes to a read-only pager.
 var ErrReadOnly = errors.New("pager: read-only")
 
-// Pager is a page file. It is not safe for concurrent use.
+// Pager is a page file. Read-only pagers are safe for concurrent use:
+// the buffer pool is guarded by a mutex (every lookup mutates LRU
+// order, so even pure reads need it), and returned page buffers are
+// private immutable copies that stay valid after eviction. Build mode
+// is single-goroutine, like every other builder in this repository.
 type Pager struct {
 	// build mode
 	path    string
 	mem     [][]byte
 	builder bool
 
-	// read-only mode
+	// read-only mode; mu guards the pool (frames, lru, maxFr, loads).
+	mu     sync.Mutex
 	file   *iosim.File
 	nPages int64
 	frames map[int64]*list.Element
@@ -63,8 +69,9 @@ func (p *Pager) Alloc() (int64, []byte, error) {
 }
 
 // Page returns the buffer of an existing page. In build mode it is
-// writable; in read-only mode it comes from the buffer pool and is
-// valid until the next Page call may evict it.
+// writable; in read-only mode it comes from the buffer pool, must not
+// be written, and stays valid even after eviction (frames are private
+// copies, never recycled).
 func (p *Pager) Page(no int64) ([]byte, error) {
 	if p.builder {
 		if no < 0 || no >= int64(len(p.mem)) {
@@ -75,6 +82,12 @@ func (p *Pager) Page(no int64) ([]byte, error) {
 	if no < 0 || no >= p.nPages {
 		return nil, fmt.Errorf("pager: page %d out of range", no)
 	}
+	// The lock covers the miss I/O too: concurrent misses on one pager
+	// serialize, which keeps the pool and the load accounting exact.
+	// (The concurrent serving path overlaps streams across stores, not
+	// within one pager.)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.frames[no]; ok {
 		p.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
@@ -103,16 +116,26 @@ func (p *Pager) NumPages() int64 {
 }
 
 // Loads reports buffer-pool misses (read-only mode).
-func (p *Pager) Loads() int64 { return p.loads }
+func (p *Pager) Loads() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loads
+}
 
 // ResetLoads zeroes the miss counter without disturbing the pool.
-func (p *Pager) ResetLoads() { p.loads = 0 }
+func (p *Pager) ResetLoads() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.loads = 0
+}
 
 // ResetPool empties the buffer pool and optionally resizes it.
 func (p *Pager) ResetPool(maxFrames int) {
 	if p.builder {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if maxFrames > 0 {
 		p.maxFr = maxFrames
 	}

@@ -3,6 +3,7 @@ package pager
 import (
 	"encoding/binary"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"snode/internal/iosim"
@@ -118,5 +119,58 @@ func TestPageOutOfRange(t *testing.T) {
 	p := Create(filepath.Join(t.TempDir(), "p.dat"))
 	if _, err := p.Page(0); err == nil {
 		t.Fatal("empty pager served page 0")
+	}
+}
+
+// TestConcurrentReaders hammers one read-only pager from many
+// goroutines with a pool far smaller than the file, so cache hits,
+// misses, evictions, and counter reads all interleave. Run under
+// -race via make test-race; content checks catch frame mix-ups.
+func TestConcurrentReaders(t *testing.T) {
+	const pages = 64
+	path := filepath.Join(t.TempDir(), "p.dat")
+	p := Create(path)
+	for i := 0; i < pages; i++ {
+		_, pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(pg, uint64(i*1000))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acc := iosim.NewAccountant(iosim.Model2002())
+	r, err := OpenReadOnly(path, acc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				no := int64((g*131 + i*17) % pages)
+				pg, err := r.Page(no)
+				if err != nil {
+					t.Errorf("goroutine %d: Page(%d): %v", g, no, err)
+					return
+				}
+				if got := binary.LittleEndian.Uint64(pg); got != uint64(no*1000) {
+					t.Errorf("goroutine %d: page %d holds %d", g, no, got)
+					return
+				}
+				if i%64 == 0 {
+					_ = r.Loads()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Loads() < pages {
+		t.Fatalf("Loads = %d, want at least one miss per page", r.Loads())
 	}
 }

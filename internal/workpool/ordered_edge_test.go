@@ -1,0 +1,146 @@
+package workpool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snode/internal/randutil"
+)
+
+// Edge cases of the Ordered pipeline: degenerate sizes, the smallest
+// window, external cancellation racing slow workers, and randomized
+// per-item delays that scramble completion order as hard as possible.
+
+func TestOrderedZeroItems(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		err := Ordered(context.Background(), New(4), n, 4,
+			func(_ context.Context, i int) (int, error) {
+				t.Errorf("fn called with n=%d", n)
+				return 0, nil
+			},
+			func(i, v int) error {
+				t.Errorf("consume called with n=%d", n)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	// Empty input wins over a dead context: there is no work to refuse.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Ordered(ctx, New(4), 0, 4,
+		func(_ context.Context, i int) (int, error) { return 0, nil },
+		func(i, v int) error { return nil }); err != nil {
+		t.Fatalf("n=0 on cancelled ctx: %v", err)
+	}
+}
+
+func TestOrderedWindowOneLockstep(t *testing.T) {
+	// window 1 degrades the pipeline to lockstep: index i may only be
+	// claimed once i-1 has been delivered, whatever the pool width.
+	// window <= 0 must normalize to the same discipline.
+	for _, window := range []int{1, 0, -3} {
+		const n = 200
+		var delivered atomic.Int64
+		err := Ordered(context.Background(), New(8), n, window,
+			func(_ context.Context, i int) (int, error) {
+				if d := delivered.Load(); int64(i) != d {
+					t.Errorf("window=%d: index %d claimed while next delivery is %d", window, i, d)
+				}
+				return i, nil
+			},
+			func(i, v int) error { delivered.Store(int64(i) + 1); return nil })
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		if delivered.Load() != n {
+			t.Fatalf("window=%d: delivered %d of %d", window, delivered.Load(), n)
+		}
+	}
+}
+
+func TestOrderedCancelMidStreamExternal(t *testing.T) {
+	// Cancellation arrives from outside (a deadline, a dropped client)
+	// while workers are mid-item, not from the consumer's own error
+	// path. The consumed stream must still be an in-order prefix.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once atomic.Bool
+	var got []int
+	err := Ordered(ctx, New(4), 100000, 8,
+		func(_ context.Context, i int) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+				// Cancel from outside once the stream is rolling.
+				time.AfterFunc(2*time.Millisecond, cancel)
+			}
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		},
+		func(i, v int) error { got = append(got, i); return nil })
+	select {
+	case <-started:
+	default:
+		t.Fatal("no item ever started")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if len(got) == 100000 {
+		t.Fatal("external cancel did not cut the stream short")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivered prefix broken at position %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestOrderedRandomizedDelays(t *testing.T) {
+	// Random per-item delays force maximal reordering of completions;
+	// delivery must stay a complete, exact, in-order stream for every
+	// width/window combination.
+	seed := uint64(42)
+	for _, workers := range []int{2, 4, 16} {
+		for _, window := range []int{1, 3, 8} {
+			const n = 300
+			seed++
+			rng := randutil.NewRNG(seed)
+			delays := make([]time.Duration, n)
+			for i := range delays {
+				delays[i] = time.Duration(rng.Intn(200)) * time.Microsecond
+			}
+			var got []int
+			err := Ordered(context.Background(), New(workers), n, window,
+				func(_ context.Context, i int) (int, error) {
+					time.Sleep(delays[i])
+					return i * 3, nil
+				},
+				func(i, v int) error {
+					if v != i*3 {
+						t.Fatalf("workers=%d window=%d: consume(%d, %d), want %d",
+							workers, window, i, v, i*3)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d window=%d: %v", workers, window, err)
+			}
+			if len(got) != n {
+				t.Fatalf("workers=%d window=%d: delivered %d of %d", workers, window, len(got), n)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("workers=%d window=%d: out of order at %d: %v",
+						workers, window, i, got[:i+1])
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism test-delta-race check bench bench-json bench-build bench-update clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load check bench bench-json bench-build bench-update bench-load clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,15 @@ test-determinism:
 test-delta-race:
 	$(GO) test -race -count=1 -run 'TestChaosReadersWritersCompactor' ./internal/delta
 
-check: build vet test test-race check-overhead test-determinism test-delta-race
+# Fast load-path gate: the full open-loop pipeline — capacity probe,
+# Poisson and bursty traces, admission shedding at 2x capacity, knee
+# summary, artifact writer — at tiny scale and short windows. Run with
+# -count=1 so the gate always executes.
+test-load:
+	$(GO) test -count=1 -run 'TestLoadSmoke' ./internal/bench
+	$(GO) test -count=1 -run 'TestAllCoversEveryRegisteredExperiment' ./cmd/snbench
+
+check: build vet test test-race check-overhead test-determinism test-delta-race test-load
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -67,6 +75,16 @@ bench-build:
 # show up in review.
 bench-update:
 	$(GO) run ./cmd/snbench -experiment update -quick -pace 0.25 -update-out BENCH_PR5.json
+
+# Open-loop load artifact: the latency-vs-offered-load curve through
+# the saturation knee (closed-loop capacity probe, then Poisson and
+# bursty sweeps at fixed fractions of capacity), committed per PR so
+# admission/shedding regressions show up in review. The summary block
+# pins the invariant: at 2x the knee the server sheds (shed > 0,
+# bounded queues) and admitted-request p99 stays within 2x of at-knee
+# p99.
+bench-load:
+	$(GO) run ./cmd/snbench -experiment load -quick -load-out BENCH_PR6.json
 
 clean:
 	$(GO) clean ./...

@@ -11,14 +11,20 @@
 //	snbench -experiment concurrency  # serving throughput vs goroutines
 //	snbench -experiment build        # build wall time vs workers
 //	snbench -experiment update       # serving latency vs delta depth
+//	snbench -experiment load         # open-loop latency vs offered load
 //
 // -quick runs a reduced scale for smoke testing.
+//
+// Experiments live in one registry; -experiment all runs every entry
+// in order, so a new experiment registered there is automatically part
+// of the full sweep (cmd/snbench's tests pin this).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"snode/internal/bench"
@@ -26,16 +32,228 @@ import (
 	"snode/internal/trace"
 )
 
+// runFlags carries the parsed command line into the experiment
+// runners.
+type runFlags struct {
+	cfg       bench.Config
+	csvDir    string
+	buildOut  string
+	updateOut string
+	loadOut   string
+}
+
+// experimentSpec is one registry entry. name is the canonical
+// -experiment value; aliases also select it (fig9 and fig10 are one
+// run).
+type experimentSpec struct {
+	name    string
+	aliases []string
+	desc    string
+	run     func(*runFlags) error
+}
+
+// experiments is the registry -experiment selects from; "all" runs
+// every entry in this order.
+func experiments() []experimentSpec {
+	return []experimentSpec{
+		{name: "fig9", aliases: []string{"fig10"}, desc: "supernode/superedge scalability", run: runScalability},
+		{name: "table1", desc: "bits/edge compression comparison", run: runCompression},
+		{name: "table2", desc: "in-memory access times", run: runAccess},
+		{name: "fig11", desc: "per-query navigation time", run: runQueries},
+		{name: "fig12", desc: "navigation time vs buffer size", run: runBufferSweep},
+		{name: "concurrency", desc: "serving throughput vs goroutines", run: runConcurrency},
+		{name: "build", desc: "build wall time vs workers", run: runBuildScaling},
+		{name: "update", desc: "serving latency vs delta depth", run: runUpdate},
+		{name: "load", desc: "open-loop latency vs offered load", run: runLoad},
+		{name: "ablation", desc: "§3 design-choice studies", run: runAblation},
+	}
+}
+
+// experimentNames lists every selectable -experiment value.
+func experimentNames() []string {
+	names := []string{"all"}
+	for _, s := range experiments() {
+		names = append(names, s.name)
+		names = append(names, s.aliases...)
+	}
+	return names
+}
+
+// selectSpecs resolves an -experiment value against the registry.
+func selectSpecs(name string) ([]experimentSpec, error) {
+	all := experiments()
+	if name == "all" {
+		return all, nil
+	}
+	for _, s := range all {
+		if s.name == name {
+			return []experimentSpec{s}, nil
+		}
+		for _, a := range s.aliases {
+			if a == name {
+				return []experimentSpec{s}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (one of: %s)", name, strings.Join(experimentNames(), ", "))
+}
+
+func runScalability(rf *runFlags) error {
+	rows, err := bench.Scalability(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderScalability(rf.cfg, rows)
+	if rf.csvDir != "" {
+		return bench.ScalabilityCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runCompression(rf *runFlags) error {
+	rows, err := bench.Compression(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderCompression(rf.cfg, rows)
+	if rf.csvDir != "" {
+		return bench.CompressionCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runAccess(rf *runFlags) error {
+	rows, err := bench.Access(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderAccess(rf.cfg, rows)
+	if rf.csvDir != "" {
+		return bench.AccessCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runQueries(rf *runFlags) error {
+	res, err := bench.Queries(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderQueries(rf.cfg, res)
+	if rf.csvDir != "" {
+		return bench.QueriesCSV(rf.csvDir, res)
+	}
+	return nil
+}
+
+func runBufferSweep(rf *runFlags) error {
+	rows, err := bench.BufferSweep(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderBufferSweep(rf.cfg, rows)
+	if rf.csvDir != "" {
+		return bench.BufferSweepCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runConcurrency(rf *runFlags) error {
+	rows, err := bench.Concurrency(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderConcurrency(rf.cfg, rows)
+	if rf.csvDir != "" {
+		return bench.ConcurrencyCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runBuildScaling(rf *runFlags) error {
+	rows, err := bench.BuildScaling(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderBuildScaling(rf.cfg, rows)
+	if rf.buildOut != "" {
+		if err := bench.BuildScalingJSON(rf.buildOut, rf.cfg, rows); err != nil {
+			return err
+		}
+		fmt.Printf("build-scaling rows written to %s\n", rf.buildOut)
+	}
+	if rf.csvDir != "" {
+		return bench.BuildScalingCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runUpdate(rf *runFlags) error {
+	rows, err := bench.Update(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderUpdate(rf.cfg, rows)
+	if rf.updateOut != "" {
+		if err := bench.UpdateJSON(rf.updateOut, rf.cfg, rows); err != nil {
+			return err
+		}
+		fmt.Printf("serving-under-churn rows written to %s\n", rf.updateOut)
+	}
+	if rf.csvDir != "" {
+		return bench.UpdateCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
+func runLoad(rf *runFlags) error {
+	rep, err := bench.Load(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderLoad(rf.cfg, rep)
+	if rf.loadOut != "" {
+		if err := bench.LoadJSON(rf.loadOut, rf.cfg, rep); err != nil {
+			return err
+		}
+		fmt.Printf("load rows written to %s\n", rf.loadOut)
+	}
+	return nil
+}
+
+func runAblation(rf *runFlags) error {
+	rows, err := bench.Ablations(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderAblations(rf.cfg, rows)
+	ex, err := bench.ExactReference(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderExactReference(rf.cfg, ex)
+	dm, err := bench.DiskModelSweep(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderDiskModelSweep(rf.cfg, dm)
+	if rf.csvDir != "" {
+		return bench.AblationsCSV(rf.csvDir, rows)
+	}
+	return nil
+}
+
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig9, fig10, table1, table2, fig11, fig12, ablation, concurrency, build, update")
+		"one of: "+strings.Join(experimentNames(), ", "))
 	quick := flag.Bool("quick", false, "reduced scale")
 	seed := flag.Uint64("seed", 0, "override corpus seed")
 	workspace := flag.String("workspace", "", "build directory (default: temp)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
-	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency and build experiments (0 = full modeled time)")
+	pace := flag.Float64("pace", 0, "disk-stall scale for the concurrency, build, update, and load experiments (0 = full modeled time)")
 	buildOut := flag.String("build-out", "", "write the build-scaling rows as JSON to this file after the run")
 	updateOut := flag.String("update-out", "", "write the serving-under-churn rows as JSON to this file after the run")
+	loadOut := flag.String("load-out", "", "write the open-loop load rows as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -49,6 +267,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workspace = *workspace
+	cfg.Pace = *pace
 	if *metricsOut != "" {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -60,168 +279,29 @@ func main() {
 		cfg.Tracer = trace.New(trace.Config{SampleEvery: *traceEvery})
 	}
 
-	run := func(name string, fn func() error) {
+	specs, err := selectSpecs(*experiment)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+		os.Exit(2)
+	}
+	rf := &runFlags{
+		cfg:       cfg,
+		csvDir:    *csvDir,
+		buildOut:  *buildOut,
+		updateOut: *updateOut,
+		loadOut:   *loadOut,
+	}
+	for _, spec := range specs {
+		name := spec.name
+		if len(spec.aliases) > 0 {
+			name = name + "/" + strings.Join(spec.aliases, "/")
+		}
 		start := time.Now()
-		if err := fn(); err != nil {
+		if err := spec.run(rf); err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	want := func(names ...string) bool {
-		if *experiment == "all" {
-			return true
-		}
-		for _, n := range names {
-			if n == *experiment {
-				return true
-			}
-		}
-		return false
-	}
-
-	if want("fig9", "fig10") {
-		run("fig9/fig10", func() error {
-			rows, err := bench.Scalability(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderScalability(cfg, rows)
-			if *csvDir != "" {
-				return bench.ScalabilityCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("table1") {
-		run("table1", func() error {
-			rows, err := bench.Compression(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderCompression(cfg, rows)
-			if *csvDir != "" {
-				return bench.CompressionCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("table2") {
-		run("table2", func() error {
-			rows, err := bench.Access(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderAccess(cfg, rows)
-			if *csvDir != "" {
-				return bench.AccessCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("fig11") {
-		run("fig11", func() error {
-			res, err := bench.Queries(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderQueries(cfg, res)
-			if *csvDir != "" {
-				return bench.QueriesCSV(*csvDir, res)
-			}
-			return nil
-		})
-	}
-	if want("fig12") {
-		run("fig12", func() error {
-			rows, err := bench.BufferSweep(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderBufferSweep(cfg, rows)
-			if *csvDir != "" {
-				return bench.BufferSweepCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("concurrency") {
-		run("concurrency", func() error {
-			cfg.Pace = *pace
-			rows, err := bench.Concurrency(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderConcurrency(cfg, rows)
-			if *csvDir != "" {
-				return bench.ConcurrencyCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("build") {
-		run("build", func() error {
-			cfg.Pace = *pace
-			rows, err := bench.BuildScaling(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderBuildScaling(cfg, rows)
-			if *buildOut != "" {
-				if err := bench.BuildScalingJSON(*buildOut, cfg, rows); err != nil {
-					return err
-				}
-				fmt.Printf("build-scaling rows written to %s\n", *buildOut)
-			}
-			if *csvDir != "" {
-				return bench.BuildScalingCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("update") {
-		run("update", func() error {
-			cfg.Pace = *pace
-			rows, err := bench.Update(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderUpdate(cfg, rows)
-			if *updateOut != "" {
-				if err := bench.UpdateJSON(*updateOut, cfg, rows); err != nil {
-					return err
-				}
-				fmt.Printf("serving-under-churn rows written to %s\n", *updateOut)
-			}
-			if *csvDir != "" {
-				return bench.UpdateCSV(*csvDir, rows)
-			}
-			return nil
-		})
-	}
-	if want("ablation") {
-		run("ablation", func() error {
-			rows, err := bench.Ablations(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderAblations(cfg, rows)
-			ex, err := bench.ExactReference(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderExactReference(cfg, ex)
-			dm, err := bench.DiskModelSweep(cfg)
-			if err != nil {
-				return err
-			}
-			bench.RenderDiskModelSweep(cfg, dm)
-			if *csvDir != "" {
-				return bench.AblationsCSV(*csvDir, rows)
-			}
-			return nil
-		})
 	}
 
 	if *metricsOut != "" {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllCoversEveryRegisteredExperiment pins the property the
+// registry exists for: -experiment all runs every registered
+// experiment, so nothing (build, update, load, ...) can silently fall
+// out of the full sweep when a new experiment is added.
+func TestAllCoversEveryRegisteredExperiment(t *testing.T) {
+	specs := experiments()
+	if len(specs) == 0 {
+		t.Fatal("empty experiment registry")
+	}
+	all, err := selectSpecs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(specs) {
+		t.Fatalf("-experiment all selects %d of %d registered experiments", len(all), len(specs))
+	}
+	for i, s := range all {
+		if s.name != specs[i].name {
+			t.Fatalf("all[%d] = %q, registry[%d] = %q: order diverged", i, s.name, i, specs[i].name)
+		}
+	}
+}
+
+// TestRegistryEntriesAreWellFormed: unique selectable names, non-nil
+// runners, and every historical -experiment value still resolves.
+func TestRegistryEntriesAreWellFormed(t *testing.T) {
+	seen := map[string]bool{"all": true}
+	for _, s := range experiments() {
+		if s.name == "" || s.run == nil || s.desc == "" {
+			t.Fatalf("malformed registry entry %+v", s)
+		}
+		for _, n := range append([]string{s.name}, s.aliases...) {
+			if seen[n] {
+				t.Fatalf("experiment name %q registered twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	for _, want := range []string{
+		"fig9", "fig10", "table1", "table2", "fig11", "fig12",
+		"concurrency", "build", "update", "load", "ablation",
+	} {
+		if !seen[want] {
+			t.Errorf("experiment %q is not selectable", want)
+		}
+		got, err := selectSpecs(want)
+		if err != nil || len(got) != 1 {
+			t.Errorf("selectSpecs(%q): %d specs, err %v", want, len(got), err)
+		}
+	}
+}
+
+// TestSelectSpecsRejectsUnknown: a typo fails fast with the selectable
+// names, instead of silently running nothing.
+func TestSelectSpecsRejectsUnknown(t *testing.T) {
+	_, err := selectSpecs("figg9")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "load") || !strings.Contains(err.Error(), "all") {
+		t.Fatalf("error does not list selectable experiments: %v", err)
+	}
+	if !strings.Contains(flagUsageNames(), "load") {
+		t.Fatalf("-experiment usage %q omits load", flagUsageNames())
+	}
+}
+
+// flagUsageNames is what the -experiment flag's usage string is built
+// from.
+func flagUsageNames() string {
+	return strings.Join(experimentNames(), ", ")
+}

@@ -12,9 +12,13 @@
 // read's modeled 2002-disk cost times the scale, so the throughput
 // curve shows real I/O overlap rather than CPU-only parallelism.
 //
-// With -listen, snserve exposes the serving path's observability
-// surface over HTTP while the levels run:
+// With -listen, snserve exposes the query endpoints and the serving
+// path's observability surface over HTTP while the levels run:
 //
+//	/out           ?page=N (+ optional &deadline_ms=D): one page's
+//	               out-adjacency — the navigation class
+//	/query         ?q=1..6 (+ optional &deadline_ms=D): one Table 3
+//	               analysis — the mining class
 //	/metrics       text exposition: per-query latency histograms with
 //	               p50/p95/p99 and tail-bucket trace-ID exemplars, cache
 //	               hit/miss/load/coalesce/eviction counters,
@@ -26,6 +30,20 @@
 //	               summaries; ?id=N for one trace's span tree
 //	               (&format=chrome for chrome://tracing, &format=text
 //	               for a rendered tree)
+//
+// The query endpoints sit behind an admission layer (internal/
+// admission): -max-concurrent execution slots, a bounded -max-queue
+// wait queue per class with nav prioritized over mining, and load
+// shedding — arrivals past a full queue, or whose deadline cannot be
+// met, are answered 429 with a Retry-After hint instead of queueing
+// unboundedly. -deadline applies a default request deadline (clients
+// override with ?deadline_ms, clamped), and the deadline propagates
+// through the engine into the paced reader, so a dead request stops
+// consuming the stack. -hedge-after arms hedged reads on the S-Node
+// stores: a request stuck behind another's in-flight decode that long
+// launches its own read and takes whichever lands first. /metrics
+// gains the admission_* counters and queue-depth gauges plus the
+// serve_latency_{nav,mining} histograms.
 //
 // Sampled requests (-trace-every, default 1 in 64) carry a trace down
 // through the engine, cache, and I/O simulator; the slowest per query
@@ -72,6 +90,7 @@ import (
 	"snode/internal/metrics"
 	"snode/internal/query"
 	"snode/internal/repo"
+	"snode/internal/serve"
 	"snode/internal/snode"
 	"snode/internal/store"
 	"snode/internal/synth"
@@ -105,6 +124,11 @@ type options struct {
 	traceSlow  int
 	live       bool
 	drain      time.Duration
+
+	maxConcurrent int
+	maxQueue      int
+	deadline      time.Duration
+	hedgeAfter    time.Duration
 }
 
 // validate rejects flag combinations that would previously slip
@@ -133,6 +157,18 @@ func validate(o *options) error {
 	if o.drain <= 0 {
 		return fmt.Errorf("-drain must be a positive duration (got %v)", o.drain)
 	}
+	if o.maxConcurrent < 0 {
+		return fmt.Errorf("-max-concurrent must be >= 0 (got %d; 0 selects GOMAXPROCS)", o.maxConcurrent)
+	}
+	if o.maxQueue < 1 {
+		return fmt.Errorf("-max-queue must be >= 1 (got %d): the admission queue needs at least one seat", o.maxQueue)
+	}
+	if o.deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (got %v; 0 means no default deadline)", o.deadline)
+	}
+	if o.hedgeAfter < 0 {
+		return fmt.Errorf("-hedge-after must be >= 0 (got %v; 0 disables hedging)", o.hedgeAfter)
+	}
 	return nil
 }
 
@@ -150,6 +186,10 @@ func main() {
 	flag.IntVar(&o.traceSlow, "trace-slow", 4, "retain the N slowest traces per query class")
 	flag.BoolVar(&o.live, "live", false, "wrap the representations in delta overlays and accept POST /update mutations while serving")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 0, "admission slots for /out and /query (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxQueue, "max-queue", 64, "bounded admission queue per request class; arrivals past it are shed with 429")
+	flag.DurationVar(&o.deadline, "deadline", 0, "default deadline for /out and /query requests (0 = none; ?deadline_ms overrides)")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "hedge a coalesced cache-miss wait after this long (0 disables hedged reads)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -163,7 +203,7 @@ func main() {
 	if err := validate(o); err != nil {
 		fail(err)
 	}
-	if err := serve(o); err != nil {
+	if err := runServe(o); err != nil {
 		fail(err)
 	}
 }
@@ -250,10 +290,14 @@ func (s *liveState) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildMux assembles the HTTP surface. tracer may be nil (tracing
-// disabled), in which case /debug/traces serves an empty list.
-func buildMux(reg *metrics.Registry, tracer *trace.Tracer, state *liveState) *http.ServeMux {
+// disabled), in which case /debug/traces serves an empty list; qs may
+// be nil (no query endpoints).
+func buildMux(reg *metrics.Registry, tracer *trace.Tracer, state *liveState, qs *serve.Server) *http.ServeMux {
 	expvar.Publish("snode", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
+	if qs != nil {
+		qs.Register(mux)
+	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/traces", trace.Handler(tracer))
@@ -295,7 +339,7 @@ func cacheDelta(prev, cur metrics.Snapshot, counter string) int64 {
 	return d
 }
 
-func serve(o *options) error {
+func runServe(o *options) error {
 	// SIGINT/SIGTERM cancels this context; everything downstream —
 	// query levels, compactors, the HTTP drain — hangs off it.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -406,13 +450,36 @@ func serve(o *options) error {
 		state.fwd.RegisterMetrics(reg, "delta_fwd")
 		state.rev.RegisterMetrics(reg, "delta_rev")
 	}
+	// Hedged reads are a property of the S-Node buffer manager, so they
+	// arm on the base representations (the overlays forward to them).
+	if o.hedgeAfter > 0 {
+		for _, s := range []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]} {
+			if hd, ok := s.(store.Hedger); ok {
+				hd.SetHedge(o.hedgeAfter)
+			}
+		}
+	}
 	var srv *http.Server
 	if o.listen != "" {
-		var addr string
-		srv, addr, err = startHTTP(o.listen, buildMux(reg, tracer, state))
+		// The query endpoints share the workload engine (a Shared copy)
+		// behind the admission controller.
+		qs, err := serve.New(serve.Config{
+			Engine:          e,
+			MaxConcurrent:   o.maxConcurrent,
+			MaxQueue:        o.maxQueue,
+			DefaultDeadline: o.deadline,
+			Registry:        reg,
+		})
 		if err != nil {
 			return err
 		}
+		var addr string
+		srv, addr, err = startHTTP(o.listen, buildMux(reg, tracer, state, qs))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queries on http://%s/out and /query (admission: %d slots, queue %d/class)\n",
+			addr, qs.Admission().MaxConcurrent(), o.maxQueue)
 		fmt.Printf("metrics on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof, /debug/traces)\n", addr)
 	}
 

@@ -1,0 +1,416 @@
+// Package admission is the serving tier's overload backstop: a
+// bounded-queue admission controller in front of the query engine.
+//
+// Closed-loop benchmarks (N goroutines in lockstep) mathematically
+// cannot exhibit queueing collapse — each client waits for its previous
+// request, so offered load self-limits at capacity. Real traffic is
+// open-loop: arrivals do not slow down because the server is slow, so
+// past the capacity knee an unprotected server accumulates unbounded
+// queues and every request's latency diverges. The standard cure, which
+// this package implements, is to bound the queues and shed the excess:
+//
+//   - A fixed number of execution slots (MaxConcurrent) bounds the work
+//     actually in flight.
+//   - Each request class has its own bounded FIFO wait queue; a request
+//     arriving to a full queue is rejected immediately (a fast 429-style
+//     reject with a Retry-After hint) instead of waiting forever.
+//   - Classes are prioritized: when a slot frees, the highest-priority
+//     non-empty queue is served first (navigation lookups ahead of
+//     analysis/mining queries), FIFO within a class.
+//   - Deadline awareness: a request whose context deadline would expire
+//     before its estimated queue wait is shed on arrival rather than
+//     admitted to miss its deadline while holding a queue slot.
+//   - Cancellation while queued (client gave up, deadline fired) removes
+//     the waiter and counts it as shed.
+//
+// Accounting invariant, asserted by the chaos tests and exported via
+// RegisterMetrics: for every class, offered == admitted + shed once the
+// system drains, and queue depth never exceeds the configured bound.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"snode/internal/metrics"
+	"snode/internal/trace"
+)
+
+// Shed reasons, carried on ShedError for metrics and response bodies.
+const (
+	ReasonQueueFull = "queue_full" // class queue at capacity
+	ReasonDeadline  = "deadline"   // ctx deadline sooner than estimated wait
+	ReasonCanceled  = "canceled"   // ctx done while queued
+)
+
+// ShedError is the fast-reject outcome of Acquire: the request was not
+// admitted and should be answered with a 429-style response carrying
+// the RetryAfter hint.
+type ShedError struct {
+	Class      string
+	Reason     string
+	RetryAfter time.Duration
+	err        error // underlying ctx error for ReasonCanceled
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admission: %s request shed (%s), retry after %v",
+		e.Class, e.Reason, e.RetryAfter)
+}
+
+// Unwrap exposes the context error behind a ReasonCanceled shed, so
+// errors.Is(err, context.DeadlineExceeded) works on shed results.
+func (e *ShedError) Unwrap() error { return e.err }
+
+// ClassConfig declares one request class.
+type ClassConfig struct {
+	// Name identifies the class ("nav", "mining").
+	Name string
+	// MaxQueue bounds the class's wait queue (<= 0 selects 64). A
+	// request arriving with MaxQueue waiters already queued is shed.
+	MaxQueue int
+}
+
+// Config sizes a Controller.
+type Config struct {
+	// MaxConcurrent is the number of execution slots (<= 0 selects
+	// GOMAXPROCS) — requests admitted and not yet released.
+	MaxConcurrent int
+	// Classes lists the request classes in priority order, highest
+	// first. Required (at least one).
+	Classes []ClassConfig
+	// EstService seeds the service-time estimate behind Retry-After and
+	// the deadline-aware early shed before any request has completed
+	// (default 50ms). The estimate is updated as an EWMA of observed
+	// admit-to-release times.
+	EstService time.Duration
+	// MinRetryAfter / MaxRetryAfter clamp the Retry-After hint
+	// (defaults 100ms and 30s).
+	MinRetryAfter time.Duration
+	MaxRetryAfter time.Duration
+}
+
+// waiter is one queued request.
+type waiter struct {
+	ready    chan struct{} // closed on admission
+	admitted bool          // written under Controller.mu
+}
+
+// classState is one class's queue and accounting. Counters are plain
+// int64s written under Controller.mu; RegisterMetrics exports them via
+// snapshot funcs so a scrape always reconciles with Stats.
+type classState struct {
+	name     string
+	maxQueue int
+	waiters  []*waiter
+
+	offered  int64
+	admitted int64
+	shed     int64
+	shedBy   map[string]int64 // reason → count
+
+	waitHist *metrics.Histogram // nil until RegisterMetrics
+}
+
+// Controller is the admission gate. Safe for concurrent use.
+type Controller struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	classes []*classState
+	byName  map[string]*classState
+
+	estService   time.Duration // EWMA of admit→release times
+	minRA, maxRA time.Duration
+}
+
+// New builds a controller. Classes are prioritized in the order given.
+func New(cfg Config) (*Controller, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("admission: no classes configured")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.EstService <= 0 {
+		cfg.EstService = 50 * time.Millisecond
+	}
+	if cfg.MinRetryAfter <= 0 {
+		cfg.MinRetryAfter = 100 * time.Millisecond
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
+	}
+	c := &Controller{
+		max:        cfg.MaxConcurrent,
+		byName:     map[string]*classState{},
+		estService: cfg.EstService,
+		minRA:      cfg.MinRetryAfter,
+		maxRA:      cfg.MaxRetryAfter,
+	}
+	for _, cc := range cfg.Classes {
+		if cc.Name == "" {
+			return nil, fmt.Errorf("admission: class with empty name")
+		}
+		if _, dup := c.byName[cc.Name]; dup {
+			return nil, fmt.Errorf("admission: duplicate class %q", cc.Name)
+		}
+		if cc.MaxQueue <= 0 {
+			cc.MaxQueue = 64
+		}
+		cs := &classState{name: cc.Name, maxQueue: cc.MaxQueue, shedBy: map[string]int64{}}
+		c.classes = append(c.classes, cs)
+		c.byName[cc.Name] = cs
+	}
+	return c, nil
+}
+
+// MaxConcurrent reports the slot count.
+func (c *Controller) MaxConcurrent() int { return c.max }
+
+// Acquire admits the request into an execution slot, waiting in the
+// class's bounded queue if every slot is busy. On admission it returns
+// a release function the caller MUST invoke exactly once when the
+// request finishes. On rejection it returns a *ShedError (queue full,
+// deadline unmeetable, or ctx done while queued) — the caller should
+// answer with a fast reject carrying the error's RetryAfter.
+//
+// When ctx carries an execution trace and the request had to queue, the
+// wait is recorded as an "admission.wait" span on the trace.
+func (c *Controller) Acquire(ctx context.Context, class string) (release func(), err error) {
+	cs, ok := c.byName[class]
+	if !ok {
+		return nil, fmt.Errorf("admission: unknown class %q", class)
+	}
+	c.mu.Lock()
+	cs.offered++
+	if c.running < c.max {
+		// Free slot: admit immediately. Queues are empty whenever a slot
+		// is free (release always hands a freed slot to a waiter), so
+		// this cannot overtake queued requests.
+		c.running++
+		cs.admitted++
+		c.mu.Unlock()
+		return c.releaseFunc(time.Now()), nil
+	}
+	if dl, hasDL := ctx.Deadline(); hasDL {
+		if wait := c.estWaitLocked(cs); time.Now().Add(wait).After(dl) {
+			// The request would still be queued (or barely admitted) when
+			// its deadline fires; shed now so the client retries instead
+			// of burning a queue slot to time out.
+			ra := c.retryAfterLocked()
+			cs.shed++
+			cs.shedBy[ReasonDeadline]++
+			c.mu.Unlock()
+			return nil, &ShedError{Class: class, Reason: ReasonDeadline, RetryAfter: ra}
+		}
+	}
+	if len(cs.waiters) >= cs.maxQueue {
+		ra := c.retryAfterLocked()
+		cs.shed++
+		cs.shedBy[ReasonQueueFull]++
+		c.mu.Unlock()
+		return nil, &ShedError{Class: class, Reason: ReasonQueueFull, RetryAfter: ra}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	cs.waiters = append(cs.waiters, w)
+	c.mu.Unlock()
+
+	enqueued := time.Now()
+	select {
+	case <-w.ready:
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !w.admitted {
+			for i, x := range cs.waiters {
+				if x == w {
+					cs.waiters = append(cs.waiters[:i], cs.waiters[i+1:]...)
+					break
+				}
+			}
+			ra := c.retryAfterLocked()
+			cs.shed++
+			cs.shedBy[ReasonCanceled]++
+			c.mu.Unlock()
+			return nil, &ShedError{Class: class, Reason: ReasonCanceled, RetryAfter: ra, err: ctx.Err()}
+		}
+		// Admission raced the cancellation: the slot is ours. Keep it —
+		// the caller observes ctx itself and finishes fast; counting it
+		// admitted keeps offered == admitted + shed exact.
+		c.mu.Unlock()
+	}
+	wait := time.Since(enqueued)
+	if h := cs.waitHist; h != nil {
+		h.ObserveDuration(wait)
+	}
+	if trace.Active(ctx) {
+		trace.RecordSpan(ctx, "admission.wait", enqueued, wait,
+			trace.Attr{Key: "queued_ns", Val: int64(wait)})
+	}
+	return c.releaseFunc(time.Now()), nil
+}
+
+// releaseFunc builds the once-only release closure for an admitted
+// request: it folds the observed service time into the EWMA, frees the
+// slot, and hands it to the highest-priority waiter, if any.
+func (c *Controller) releaseFunc(admitted time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			observed := time.Since(admitted)
+			c.mu.Lock()
+			// EWMA with alpha 1/4: stable against one outlier, adapts in
+			// a few requests when the workload shifts.
+			c.estService = (3*c.estService + observed) / 4
+			c.running--
+			for _, cs := range c.classes {
+				if len(cs.waiters) > 0 {
+					w := cs.waiters[0]
+					cs.waiters = cs.waiters[1:]
+					w.admitted = true
+					cs.admitted++
+					c.running++
+					close(w.ready)
+					break
+				}
+			}
+			c.mu.Unlock()
+		})
+	}
+}
+
+// estWaitLocked estimates how long a new arrival of class cs would
+// queue: everything at its priority or higher must drain ahead of it
+// through max slots, each occupied ~estService. Caller holds c.mu.
+func (c *Controller) estWaitLocked(cs *classState) time.Duration {
+	ahead := 0
+	for _, x := range c.classes {
+		ahead += len(x.waiters)
+		if x == cs {
+			break
+		}
+	}
+	turns := float64(ahead+1) / float64(c.max)
+	return time.Duration(math.Ceil(turns * float64(c.estService)))
+}
+
+// retryAfterLocked computes the Retry-After hint from the current
+// backlog: (queued + running) requests drain through max slots at
+// ~estService each. Clamped to [MinRetryAfter, MaxRetryAfter]. Caller
+// holds c.mu.
+func (c *Controller) retryAfterLocked() time.Duration {
+	backlog := c.running
+	for _, cs := range c.classes {
+		backlog += len(cs.waiters)
+	}
+	ra := time.Duration(float64(backlog) / float64(c.max) * float64(c.estService))
+	if ra < c.minRA {
+		ra = c.minRA
+	}
+	if ra > c.maxRA {
+		ra = c.maxRA
+	}
+	return ra
+}
+
+// ClassStats is one class's accounting snapshot.
+type ClassStats struct {
+	Offered  int64
+	Admitted int64
+	Shed     int64
+	// ShedBy splits Shed by reason (queue_full, deadline, canceled).
+	ShedBy map[string]int64
+	// QueueDepth is the instantaneous number of queued waiters.
+	QueueDepth int
+}
+
+// Stats snapshots every class's counters. offered == admitted + shed +
+// (waiters still queued) at any instant; once drained, offered ==
+// admitted + shed exactly.
+func (c *Controller) Stats() map[string]ClassStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]ClassStats, len(c.classes))
+	for _, cs := range c.classes {
+		by := make(map[string]int64, len(cs.shedBy))
+		for k, v := range cs.shedBy {
+			by[k] = v
+		}
+		out[cs.name] = ClassStats{
+			Offered:    cs.offered,
+			Admitted:   cs.admitted,
+			Shed:       cs.shed,
+			ShedBy:     by,
+			QueueDepth: len(cs.waiters),
+		}
+	}
+	return out
+}
+
+// Running reports the number of admitted, unreleased requests.
+func (c *Controller) Running() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.running
+}
+
+// QueueDepth reports the total number of queued waiters across classes.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cs := range c.classes {
+		n += len(cs.waiters)
+	}
+	return n
+}
+
+// EstimatedService reports the current EWMA service-time estimate.
+func (c *Controller) EstimatedService() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.estService
+}
+
+// RegisterMetrics exposes the controller on a registry under the given
+// prefix: per class, <prefix>_<class>_offered / _admitted / _shed
+// counters, a _queue_depth gauge, and a _wait_seconds histogram of
+// queue waits; globally, <prefix>_running and <prefix>_queue_depth
+// gauges. The counters read the same mutex-guarded state as Stats, so
+// a scrape always satisfies offered >= admitted + shed, with equality
+// once the queues drain.
+func (c *Controller) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	for _, cs := range c.classes {
+		cs := cs
+		base := prefix + "_" + cs.name
+		reg.CounterFunc(base+"_offered", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return cs.offered
+		})
+		reg.CounterFunc(base+"_admitted", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return cs.admitted
+		})
+		reg.CounterFunc(base+"_shed", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return cs.shed
+		})
+		reg.GaugeFunc(base+"_queue_depth", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(cs.waiters))
+		})
+		c.mu.Lock()
+		cs.waitHist = reg.Histogram(base+"_wait_seconds", nil)
+		c.mu.Unlock()
+	}
+	reg.GaugeFunc(prefix+"_running", func() int64 { return int64(c.Running()) })
+	reg.GaugeFunc(prefix+"_queue_depth", func() int64 { return int64(c.QueueDepth()) })
+}

@@ -1,0 +1,629 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snode/internal/metrics"
+)
+
+// newTest builds a controller with the canonical two-class serving
+// config: nav (high priority) ahead of mining.
+func newTest(t *testing.T, maxConcurrent, navQueue, miningQueue int) *Controller {
+	t.Helper()
+	c, err := New(Config{
+		MaxConcurrent: maxConcurrent,
+		Classes: []ClassConfig{
+			{Name: "nav", MaxQueue: navQueue},
+			{Name: "mining", MaxQueue: miningQueue},
+		},
+		EstService: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// fillSlots admits n requests and returns their release funcs.
+func fillSlots(t *testing.T, c *Controller, class string, n int) []func() {
+	t.Helper()
+	rels := make([]func(), n)
+	for i := range rels {
+		rel, err := c.Acquire(context.Background(), class)
+		if err != nil {
+			t.Fatalf("fillSlots Acquire %d: %v", i, err)
+		}
+		rels[i] = rel
+	}
+	return rels
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"no classes", Config{}, true},
+		{"empty class name", Config{Classes: []ClassConfig{{Name: ""}}}, true},
+		{"duplicate class", Config{Classes: []ClassConfig{{Name: "a"}, {Name: "a"}}}, true},
+		{"ok", Config{Classes: []ClassConfig{{Name: "a"}, {Name: "b"}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%+v) err = %v, wantErr %v", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAcquireUnknownClass(t *testing.T) {
+	c := newTest(t, 1, 4, 4)
+	if _, err := c.Acquire(context.Background(), "nope"); err == nil {
+		t.Fatal("Acquire of unknown class succeeded")
+	}
+}
+
+func TestFastPathAdmitsUpToMax(t *testing.T) {
+	c := newTest(t, 3, 4, 4)
+	rels := fillSlots(t, c, "nav", 3)
+	if got := c.Running(); got != 3 {
+		t.Fatalf("Running = %d, want 3", got)
+	}
+	for _, rel := range rels {
+		rel()
+	}
+	if got := c.Running(); got != 0 {
+		t.Fatalf("Running after release = %d, want 0", got)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := newTest(t, 2, 4, 4)
+	rel, err := c.Acquire(context.Background(), "nav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	if got := c.Running(); got != 0 {
+		t.Fatalf("Running = %d, want 0", got)
+	}
+	// Both slots must still be usable.
+	fillSlots(t, c, "nav", 2)
+	if got := c.Running(); got != 2 {
+		t.Fatalf("Running = %d, want 2", got)
+	}
+}
+
+// TestQueueFIFOWithinClass: waiters of one class are admitted in
+// arrival order.
+func TestQueueFIFOWithinClass(t *testing.T) {
+	c := newTest(t, 1, 8, 8)
+	rels := fillSlots(t, c, "nav", 1)
+
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Enqueue strictly one at a time so arrival order is defined.
+		i := i
+		ready := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			close(ready)
+			rel, err := c.Acquire(context.Background(), "nav")
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}()
+		<-ready
+		waitForDepth(t, c, i+1)
+	}
+
+	rels[0]() // slot frees; the chain of releases drains the queue
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order = %v, want FIFO 0..%d", order, n-1)
+		}
+	}
+}
+
+// waitForDepth blocks until the controller's queue depth reaches want.
+func waitForDepth(t *testing.T, c *Controller, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QueueDepth() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", c.QueueDepth(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestPriorityAcrossClasses: with both classes queued, a freed slot
+// goes to nav (higher priority) even if mining waiters arrived first.
+func TestPriorityAcrossClasses(t *testing.T) {
+	c := newTest(t, 1, 8, 8)
+	rels := fillSlots(t, c, "nav", 1)
+
+	type admitted struct {
+		class string
+		idx   int
+	}
+	var mu sync.Mutex
+	var order []admitted
+	var wg sync.WaitGroup
+	enqueue := func(class string, idx int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background(), class)
+			if err != nil {
+				t.Errorf("%s %d: %v", class, idx, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, admitted{class, idx})
+			mu.Unlock()
+			rel()
+		}()
+	}
+
+	// Mining waiters arrive FIRST, then nav waiters.
+	enqueue("mining", 0)
+	waitForDepth(t, c, 1)
+	enqueue("mining", 1)
+	waitForDepth(t, c, 2)
+	enqueue("nav", 0)
+	waitForDepth(t, c, 3)
+	enqueue("nav", 1)
+	waitForDepth(t, c, 4)
+
+	rels[0]()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []admitted{{"nav", 0}, {"nav", 1}, {"mining", 0}, {"mining", 1}}
+	if len(order) != len(want) {
+		t.Fatalf("admitted %d waiters, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order = %v, want nav before mining, FIFO within class (%v)", order, want)
+		}
+	}
+}
+
+// TestShedOnFull: arrivals past a full queue are rejected immediately
+// with a *ShedError carrying ReasonQueueFull and a clamped Retry-After.
+func TestShedOnFull(t *testing.T) {
+	c, err := New(Config{
+		MaxConcurrent: 1,
+		Classes:       []ClassConfig{{Name: "nav", MaxQueue: 2}},
+		EstService:    10 * time.Millisecond,
+		MinRetryAfter: 5 * time.Millisecond,
+		MaxRetryAfter: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := fillSlots(t, c, "nav", 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background(), "nav")
+			if err != nil {
+				t.Errorf("queued waiter shed: %v", err)
+				return
+			}
+			rel()
+		}()
+	}
+	waitForDepth(t, c, 2)
+
+	// Queue is full: the next arrival must shed, not block.
+	start := time.Now()
+	_, err = c.Acquire(context.Background(), "nav")
+	elapsed := time.Since(start)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("Acquire past full queue: err = %v, want *ShedError", err)
+	}
+	if shed.Reason != ReasonQueueFull {
+		t.Fatalf("Reason = %q, want %q", shed.Reason, ReasonQueueFull)
+	}
+	if shed.Class != "nav" {
+		t.Fatalf("Class = %q, want nav", shed.Class)
+	}
+	if shed.RetryAfter < 5*time.Millisecond || shed.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v outside clamp [5ms, 1s]", shed.RetryAfter)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("shed took %v; fast-reject must not block", elapsed)
+	}
+
+	rels[0]()
+	wg.Wait()
+
+	st := c.Stats()["nav"]
+	if st.Offered != 4 || st.Admitted != 3 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want offered 4 admitted 3 shed 1", st)
+	}
+	if st.ShedBy[ReasonQueueFull] != 1 {
+		t.Fatalf("ShedBy = %v, want %s:1", st.ShedBy, ReasonQueueFull)
+	}
+}
+
+// TestRetryAfterComputation pins the backlog → Retry-After formula:
+// (queued + running) / maxConcurrent * estService, clamped.
+func TestRetryAfterComputation(t *testing.T) {
+	const est = 10 * time.Millisecond
+	cases := []struct {
+		name          string
+		maxConcurrent int
+		running       int
+		queued        int
+		min, max      time.Duration
+		want          time.Duration
+	}{
+		{"clamped to min", 4, 1, 0, 5 * time.Millisecond, time.Second, 5 * time.Millisecond},
+		{"backlog of 8 over 4 slots", 4, 4, 4, time.Millisecond, time.Second, 20 * time.Millisecond},
+		{"clamped to max", 1, 1, 63, time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(Config{
+				MaxConcurrent: tc.maxConcurrent,
+				Classes:       []ClassConfig{{Name: "nav", MaxQueue: 64}},
+				EstService:    est,
+				MinRetryAfter: tc.min,
+				MaxRetryAfter: tc.max,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.mu.Lock()
+			c.running = tc.running
+			for i := 0; i < tc.queued; i++ {
+				c.byName["nav"].waiters = append(c.byName["nav"].waiters, &waiter{ready: make(chan struct{})})
+			}
+			got := c.retryAfterLocked()
+			c.mu.Unlock()
+			if got != tc.want {
+				t.Fatalf("retryAfter = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeadlineAwareShed: a request whose deadline is sooner than the
+// estimated queue wait is shed on arrival with ReasonDeadline.
+func TestDeadlineAwareShed(t *testing.T) {
+	c := newTest(t, 1, 8, 8) // estService 10ms
+	defer fillSlots(t, c, "nav", 1)[0]()
+
+	// Stack enough waiters that estimated wait >> 1ms.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() { <-done; cancel() }()
+			if rel, err := c.Acquire(ctx, "nav"); err == nil {
+				rel()
+			}
+		}()
+	}
+	waitForDepth(t, c, 4)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := c.Acquire(ctx, "nav")
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("err = %v, want ShedError with %s", err, ReasonDeadline)
+	}
+
+	close(done)
+	wg.Wait()
+}
+
+// TestCancelWhileQueued: a waiter whose ctx fires while queued is
+// removed from the queue and counted shed with ReasonCanceled, and the
+// ShedError unwraps to the ctx error.
+func TestCancelWhileQueued(t *testing.T) {
+	c := newTest(t, 1, 8, 8)
+	rels := fillSlots(t, c, "nav", 1)
+
+	// Generous deadline so the deadline-aware early shed (est wait ~10ms)
+	// does not trigger; the cancel below is what fires.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, "nav")
+		errc <- err
+	}()
+	waitForDepth(t, c, 1)
+	cancel()
+
+	err := <-errc
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonCanceled {
+		t.Fatalf("err = %v, want ShedError with %s", err, ReasonCanceled)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false; Unwrap must expose ctx error")
+	}
+	if got := c.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after cancel = %d, want 0", got)
+	}
+
+	rels[0]()
+	st := c.Stats()["nav"]
+	if st.Offered != 2 || st.Admitted != 1 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want offered 2 admitted 1 shed 1", st)
+	}
+}
+
+// TestRegisterMetricsSnapshot: the exported counters reconcile with
+// Stats and the offered == admitted + shed invariant once drained.
+func TestRegisterMetricsSnapshot(t *testing.T) {
+	c, err := New(Config{
+		MaxConcurrent: 1,
+		Classes:       []ClassConfig{{Name: "nav", MaxQueue: 1}},
+		EstService:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg, "admission")
+
+	rel, err := c.Acquire(context.Background(), "nav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot busy, queue empty → next two arrivals: one queues, one sheds.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if r, err := c.Acquire(context.Background(), "nav"); err == nil {
+			r()
+		}
+	}()
+	waitForDepth(t, c, 1)
+	if _, err := c.Acquire(context.Background(), "nav"); err == nil {
+		t.Fatal("third Acquire should shed")
+	}
+	rel()
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	get := func(name string) int64 {
+		t.Helper()
+		if v, ok := snap.Counters[name]; ok {
+			return v
+		}
+		if v, ok := snap.Gauges[name]; ok {
+			return v
+		}
+		t.Fatalf("metric %q missing from snapshot", name)
+		return 0
+	}
+	offered := get("admission_nav_offered")
+	admitted := get("admission_nav_admitted")
+	shed := get("admission_nav_shed")
+	if offered != 3 || admitted != 2 || shed != 1 {
+		t.Fatalf("metrics offered/admitted/shed = %d/%d/%d, want 3/2/1", offered, admitted, shed)
+	}
+	if offered != admitted+shed {
+		t.Fatalf("invariant offered == admitted + shed violated: %d != %d + %d", offered, admitted, shed)
+	}
+	if d := get("admission_nav_queue_depth"); d != 0 {
+		t.Fatalf("queue_depth = %d, want 0 after drain", d)
+	}
+	if r := get("admission_running"); r != 0 {
+		t.Fatalf("running = %d, want 0 after drain", r)
+	}
+	// Queue wait histogram observed the one queued request.
+	h, ok := snap.Histograms["admission_nav_wait_seconds"]
+	if !ok {
+		t.Fatal("wait histogram missing")
+	}
+	if h.Count != 1 {
+		t.Fatalf("wait histogram count = %d, want 1", h.Count)
+	}
+}
+
+// TestChaos32Goroutines is the -race accounting stress: 32 goroutines
+// hammer Acquire across both classes with random cancellation and
+// service times against a small slot count and tiny queues. Afterwards
+// every class must satisfy offered == admitted + shed exactly, the
+// queues must be empty, and no slot may be leaked.
+func TestChaos32Goroutines(t *testing.T) {
+	c, err := New(Config{
+		MaxConcurrent: 4,
+		Classes: []ClassConfig{
+			{Name: "nav", MaxQueue: 8},
+			{Name: "mining", MaxQueue: 4},
+		},
+		EstService:    100 * time.Microsecond,
+		MinRetryAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg, "admission")
+
+	const (
+		goroutines = 32
+		perG       = 200
+	)
+	var (
+		wg       sync.WaitGroup
+		admitted atomic.Int64
+		shed     atomic.Int64
+		maxDepth atomic.Int64
+	)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			class := "nav"
+			if g%2 == 1 {
+				class = "mining"
+			}
+			for i := 0; i < perG; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch rng.Intn(4) {
+				case 0: // short deadline — may shed on arrival or cancel queued
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				case 1: // racing manual cancel
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(rng.Intn(200)) * time.Microsecond
+					go func(cancel context.CancelFunc) {
+						time.Sleep(delay)
+						cancel()
+					}(cancel)
+				}
+				if d := int64(c.QueueDepth()); d > maxDepth.Load() {
+					maxDepth.Store(d)
+				}
+				rel, err := c.Acquire(ctx, class)
+				if err != nil {
+					var se *ShedError
+					if !errors.As(err, &se) {
+						t.Errorf("Acquire returned non-shed error: %v", err)
+						cancel()
+						return
+					}
+					shed.Add(1)
+					cancel()
+					continue
+				}
+				admitted.Add(1)
+				if rng.Intn(3) == 0 {
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+				}
+				rel()
+				if rng.Intn(8) == 0 {
+					rel() // exercise idempotency under race
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := c.Stats()
+	var offered, adm, sh int64
+	for class, st := range stats {
+		if st.Offered != st.Admitted+st.Shed {
+			t.Errorf("class %s: offered %d != admitted %d + shed %d",
+				class, st.Offered, st.Admitted, st.Shed)
+		}
+		if st.QueueDepth != 0 {
+			t.Errorf("class %s: queue depth %d after drain", class, st.QueueDepth)
+		}
+		offered += st.Offered
+		adm += st.Admitted
+		sh += st.Shed
+	}
+	if want := int64(goroutines * perG); offered != want {
+		t.Errorf("total offered = %d, want %d", offered, want)
+	}
+	if adm != admitted.Load() {
+		t.Errorf("controller admitted %d, callers observed %d", adm, admitted.Load())
+	}
+	if sh != shed.Load() {
+		t.Errorf("controller shed %d, callers observed %d", sh, shed.Load())
+	}
+	if got := c.Running(); got != 0 {
+		t.Errorf("Running = %d after drain (leaked slot)", got)
+	}
+	// Queue bound held: depth never exceeded the configured maxima.
+	if d := maxDepth.Load(); d > 8+4 {
+		t.Errorf("observed queue depth %d exceeds configured bound 12", d)
+	}
+	// The registry view reconciles too.
+	snap := reg.Snapshot()
+	for _, class := range []string{"nav", "mining"} {
+		o := snap.Counters[fmt.Sprintf("admission_%s_offered", class)]
+		a := snap.Counters[fmt.Sprintf("admission_%s_admitted", class)]
+		s := snap.Counters[fmt.Sprintf("admission_%s_shed", class)]
+		if o != a+s {
+			t.Errorf("metrics %s: offered %d != admitted %d + shed %d", class, o, a, s)
+		}
+	}
+}
+
+// TestAdmissionRaceWithCancel pins the admit/cancel race: when release
+// hands a slot to a waiter at the same moment the waiter's ctx fires,
+// exactly one of the two outcomes happens and accounting stays exact.
+func TestAdmissionRaceWithCancel(t *testing.T) {
+	c := newTest(t, 1, 64, 64)
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		rel, err := c.Acquire(context.Background(), "nav")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan error, 1)
+		go func() {
+			r, err := c.Acquire(ctx, "nav")
+			if err == nil {
+				r()
+			}
+			got <- err
+		}()
+		waitForDepth(t, c, 1)
+		// Release and cancel concurrently: the waiter either gets the
+		// slot (err nil) or counts shed — never both, never neither.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); rel() }()
+		go func() { defer wg.Done(); cancel() }()
+		wg.Wait()
+		<-got
+	}
+	st := c.Stats()["nav"]
+	if st.Offered != st.Admitted+st.Shed {
+		t.Fatalf("offered %d != admitted %d + shed %d", st.Offered, st.Admitted, st.Shed)
+	}
+	if c.Running() != 0 || c.QueueDepth() != 0 {
+		t.Fatalf("leaked state: running %d, depth %d", c.Running(), c.QueueDepth())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"snode/internal/iosim"
 	"snode/internal/metrics"
@@ -49,6 +50,10 @@ type Config struct {
 	// stalls (iosim pacing): each read sleeps its modeled cost times
 	// Pace. <= 0 means full modeled time (1.0).
 	Pace float64
+	// LoadDuration is the measurement window per offered-load point in
+	// the open-loop load experiment (<= 0 selects 2.5s). The smoke gate
+	// shrinks it; the committed artifact uses the default.
+	LoadDuration time.Duration
 	// Seed feeds the crawl generator.
 	Seed uint64
 	// Model is the simulated disk.

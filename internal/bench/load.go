@@ -1,0 +1,610 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snode/internal/admission"
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/serve"
+	"snode/internal/snode"
+	"snode/internal/store"
+)
+
+// The open-loop load experiment: drive the serving stack (HTTP front
+// end -> admission -> engine -> S-Node reader -> paced I/O) at fixed
+// OFFERED rates and chart latency against offered load up to and past
+// the saturation knee. A closed-loop driver (like the Concurrency
+// experiment) cannot show the knee: its clients slow down with the
+// server, so offered load self-throttles exactly when queueing theory
+// says collapse begins. Here arrivals come from Poisson and bursty
+// schedules that do not care whether the server is keeping up, which
+// is what production traffic does — and what the admission layer's
+// bounded queues and load shedding exist to survive.
+//
+// Protocol: a closed-loop probe first measures the stack's capacity
+// (sustainable queries/second), then the open-loop sweep offers fixed
+// fractions of that capacity — below, at, and at 2x the knee — so the
+// curve crosses the knee on any machine regardless of its speed. Each
+// point reports client-observed admitted-request latency percentiles,
+// shed counts split by reason, and the deepest admission queue seen;
+// past the knee a healthy server sheds (429 + Retry-After) instead of
+// growing unbounded queues, so admitted-request p99 stays bounded.
+
+// Request mix and traffic shape.
+const (
+	// loadNavShare of requests are navigation-class (/out, one page's
+	// adjacency, Zipf-skewed start page); the rest are mining-class
+	// (/query, one of the six Table 3 analyses).
+	loadNavShare = 0.92
+	// loadZipfS skews start pages: early-crawled (root-adjacent) pages
+	// are hot, the tail is cold — the usual web-traffic shape.
+	loadZipfS = 1.2
+	// Per-class request deadlines sent as ?deadline_ms. They bound how
+	// stale a queued request can get: admission sheds requests whose
+	// estimated wait exceeds what remains, and a request whose deadline
+	// fires while queued or mid-query is shed then — so admitted-request
+	// latency is capped near the deadline even when the queue bound
+	// alone would allow worse. Mining gets the tighter cap: past the
+	// knee it is deprioritized behind nav, so its queue wait, not its
+	// service time, would otherwise dominate the admitted tail.
+	loadNavDeadline    = 300 * time.Millisecond
+	loadMiningDeadline = 175 * time.Millisecond
+	// loadMaxConcurrent fixes the admission slots. Not GOMAXPROCS: the
+	// paced stack is I/O-bound (stalls are sleeps), so slots play the
+	// role of disk queue depth, and a fixed count keeps the committed
+	// artifact comparable across hosts. Multiple slots also let decodes
+	// genuinely overlap, which is what singleflight coalescing and
+	// hedged reads act on.
+	loadMaxConcurrent = 8
+	// loadMaxQueue bounds each class's admission queue. Small on
+	// purpose: queue capacity past the knee only adds wait, not
+	// goodput.
+	loadMaxQueue = 16
+	// loadHedgeAfter arms hedged reads on the S-Node stores: a request
+	// coalesced behind another's in-flight decode longer than this
+	// launches its own read. Well under the ~9ms modeled cold-span
+	// stall, so only genuinely straggling leaders get hedged.
+	loadHedgeAfter = 3 * time.Millisecond
+	// Bursty trace: square wave with loadBurstDuty of each
+	// loadBurstPeriod at loadBurstFactor times the base rate, the rest
+	// at a trickle chosen so the mean offered rate equals the Poisson
+	// trace's.
+	loadBurstPeriod = 400 * time.Millisecond
+	loadBurstDuty   = 0.25
+	loadBurstFactor = 3.0
+)
+
+// loadFractions is the Poisson sweep, as fractions of probed capacity.
+func loadFractions() []float64 { return []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0} }
+
+// loadBurstFractions are the extra bursty-trace points.
+func loadBurstFractions() []float64 { return []float64{1.0, 2.0} }
+
+// LoadRow is one offered-load point.
+type LoadRow struct {
+	Trace      string        `json:"trace"` // "poisson" | "burst"
+	Fraction   float64       `json:"fraction_of_capacity"`
+	OfferedRPS float64       `json:"offered_rps"`
+	Duration   time.Duration `json:"duration_ns"`
+	Offered    int64         `json:"offered"`
+	Admitted   int64         `json:"admitted"`
+	Shed       int64         `json:"shed"`
+	Errors     int64         `json:"errors"`
+	GoodputQPS float64       `json:"goodput_qps"`
+	// Client-observed latency of admitted (200) responses, which
+	// includes admission queue wait — the number an open-loop client
+	// actually experiences.
+	P50MS       float64 `json:"admitted_p50_ms"`
+	P95MS       float64 `json:"admitted_p95_ms"`
+	P99MS       float64 `json:"admitted_p99_ms"`
+	NavP99MS    float64 `json:"nav_p99_ms"`
+	MiningP99MS float64 `json:"mining_p99_ms"`
+	// Admission-layer shed reasons over this point (mid-query deadline
+	// sheds answer 429 too but are admitted first, so Shed can exceed
+	// the sum of these).
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	// MaxQueueDepth is the deepest total admission queue sampled while
+	// the point ran; bounded by classes x loadMaxQueue by construction.
+	MaxQueueDepth int `json:"max_queue_depth"`
+}
+
+// LoadSummary is the knee analysis over the Poisson sweep.
+type LoadSummary struct {
+	CapacityQPS       float64 `json:"capacity_qps"`
+	KneeOfferedRPS    float64 `json:"knee_offered_rps"`
+	AtKneeP99MS       float64 `json:"at_knee_p99_ms"`
+	At2xKneeP99MS     float64 `json:"at_2x_knee_p99_ms"`
+	P99Ratio          float64 `json:"p99_ratio_2x_over_knee"`
+	ShedAt2xKnee      int64   `json:"shed_at_2x_knee"`
+	QueueBound        int     `json:"queue_bound_per_class"`
+	MaxQueueDepthSeen int     `json:"max_queue_depth_seen"`
+	HedgesLaunched    int64   `json:"hedges_launched"`
+	HedgeWins         int64   `json:"hedge_wins"`
+}
+
+// LoadReport is the experiment's full result.
+type LoadReport struct {
+	Rows    []LoadRow   `json:"rows"`
+	Summary LoadSummary `json:"summary"`
+}
+
+// arrival is one scheduled request of a pre-generated trace.
+type arrival struct {
+	at   time.Duration
+	nav  bool
+	page int64
+	q    int
+}
+
+// loadWorkload draws the request mix deterministically from one seed.
+type loadWorkload struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newLoadWorkload(seed uint64, pages int) *loadWorkload {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return &loadWorkload{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, loadZipfS, 1, uint64(pages-1)),
+	}
+}
+
+func (w *loadWorkload) draw(at time.Duration) arrival {
+	a := arrival{at: at}
+	if w.rng.Float64() < loadNavShare {
+		a.nav = true
+		a.page = int64(w.zipf.Uint64())
+	} else {
+		a.q = w.rng.Intn(6) + 1
+	}
+	return a
+}
+
+// genTrace pre-generates an arrival schedule of mean rate rps over d.
+// Poisson: exponential inter-arrivals. Burst: a square wave whose
+// on-phase runs at loadBurstFactor x rps and whose off-phase trickles,
+// with the duty cycle chosen so the mean stays rps.
+func genTrace(w *loadWorkload, kind string, rps float64, d time.Duration) []arrival {
+	offRate := rps * (1 - loadBurstFactor*loadBurstDuty) / (1 - loadBurstDuty)
+	if offRate < rps/100 {
+		offRate = rps / 100
+	}
+	var out []arrival
+	t := 0.0
+	for {
+		r := rps
+		if kind == "burst" {
+			if math.Mod(t, loadBurstPeriod.Seconds()) < loadBurstDuty*loadBurstPeriod.Seconds() {
+				r = rps * loadBurstFactor
+			} else {
+				r = offRate
+			}
+		}
+		t += w.rng.ExpFloat64() / r
+		if t >= d.Seconds() {
+			return out
+		}
+		out = append(out, w.draw(time.Duration(t*float64(time.Second))))
+	}
+}
+
+// loadHarness drives one serving stack over real HTTP on loopback.
+type loadHarness struct {
+	base   string
+	client *http.Client
+	ctrl   *admission.Controller
+}
+
+// do issues one request and classifies the outcome. Latency includes
+// the server's admission queue wait (it is client-observed).
+func (h *loadHarness) do(a arrival) (admitted, shed bool, lat time.Duration, err error) {
+	var url string
+	deadline := loadMiningDeadline
+	if a.nav {
+		deadline = loadNavDeadline
+		url = fmt.Sprintf("%s/out?page=%d&deadline_ms=%d", h.base, a.page, deadline.Milliseconds())
+	} else {
+		url = fmt.Sprintf("%s/query?q=%d&deadline_ms=%d", h.base, a.q, deadline.Milliseconds())
+	}
+	// Client-side timeout is a backstop only; the server's propagated
+	// deadline is what cuts work loose.
+	ctx, cancel := context.WithTimeout(context.Background(), deadline+5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, false, 0, err
+	}
+	start := time.Now()
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false, false, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat = time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, false, lat, nil
+	case http.StatusTooManyRequests:
+		return false, true, lat, nil
+	default:
+		return false, false, lat, fmt.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// probe measures sustainable capacity with a closed loop: workers
+// issue requests back to back, so offered load self-throttles to what
+// the stack completes. The completion rate of 200s is the knee
+// estimate the open-loop sweep is anchored to.
+func (h *loadHarness) probe(seed uint64, pages, workers int, d time.Duration) float64 {
+	var admitted int64
+	stop := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newLoadWorkload(seed+uint64(g)*7919+1, pages)
+			for time.Now().Before(stop) {
+				ok, _, _, _ := h.do(w.draw(0))
+				if ok {
+					atomic.AddInt64(&admitted, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(atomic.LoadInt64(&admitted)) / time.Since(start).Seconds()
+}
+
+// runPoint offers one pre-generated trace and measures the outcome.
+func (h *loadHarness) runPoint(kind string, fraction float64, arrivals []arrival) LoadRow {
+	before := h.ctrl.Stats()
+
+	// Sample total queue depth while the point runs; the max pins
+	// "bounded queues" in the artifact.
+	maxDepth := 0
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-tick.C:
+				if n := h.ctrl.QueueDepth(); n > maxDepth {
+					maxDepth = n
+				}
+			}
+		}
+	}()
+
+	var admitted, shedN, errsN int64
+	var mu sync.Mutex
+	var all, navLat, miningLat []time.Duration
+
+	// Open-loop dispatch: sleep to each arrival's offset and fire it in
+	// its own goroutine. Nothing here waits for responses, so a slow
+	// server cannot throttle the offered rate.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, a := range arrivals {
+		if s := a.at - time.Since(start); s > 0 {
+			time.Sleep(s)
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			ok, shed, lat, err := h.do(a)
+			switch {
+			case err != nil:
+				atomic.AddInt64(&errsN, 1)
+			case ok:
+				atomic.AddInt64(&admitted, 1)
+				mu.Lock()
+				all = append(all, lat)
+				if a.nav {
+					navLat = append(navLat, lat)
+				} else {
+					miningLat = append(miningLat, lat)
+				}
+				mu.Unlock()
+			case shed:
+				atomic.AddInt64(&shedN, 1)
+			}
+		}(a)
+	}
+	// Offered rate is measured over the dispatch window; the drain tail
+	// (in-flight responses) must not dilute it.
+	dispatched := time.Since(start)
+	wg.Wait()
+	close(stopSample)
+	<-sampleDone
+
+	after := h.ctrl.Stats()
+	var shedQF, shedDL int64
+	for class, st := range after {
+		b := before[class]
+		shedQF += st.ShedBy[admission.ReasonQueueFull] - b.ShedBy[admission.ReasonQueueFull]
+		shedDL += st.ShedBy[admission.ReasonDeadline] - b.ShedBy[admission.ReasonDeadline]
+	}
+
+	row := LoadRow{
+		Trace:         kind,
+		Fraction:      fraction,
+		OfferedRPS:    float64(len(arrivals)) / dispatched.Seconds(),
+		Duration:      dispatched,
+		Offered:       int64(len(arrivals)),
+		Admitted:      atomic.LoadInt64(&admitted),
+		Shed:          atomic.LoadInt64(&shedN),
+		Errors:        atomic.LoadInt64(&errsN),
+		P50MS:         percentileMS(all, 0.50),
+		P95MS:         percentileMS(all, 0.95),
+		P99MS:         percentileMS(all, 0.99),
+		NavP99MS:      percentileMS(navLat, 0.99),
+		MiningP99MS:   percentileMS(miningLat, 0.99),
+		ShedQueueFull: shedQF,
+		ShedDeadline:  shedDL,
+		MaxQueueDepth: maxDepth,
+	}
+	row.GoodputQPS = float64(row.Admitted) / dispatched.Seconds()
+	return row
+}
+
+// percentileMS reports the p-quantile of lats in milliseconds.
+func percentileMS(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx]) / float64(time.Millisecond)
+}
+
+// Load runs the open-loop load experiment over an S-Node repository
+// built at cfg.QuerySize with cfg.QueryBudget of buffer, served over
+// HTTP on loopback with pacing and hedged reads enabled.
+func Load(cfg Config) (*LoadReport, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	opt := repo.DefaultOptions(filepath.Join(ws, "loadrepo"))
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.CacheBudget = cfg.QueryBudget
+	opt.Model = cfg.Model
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	e, err := query.New(r, repo.SchemeSNode)
+	if err != nil {
+		return nil, err
+	}
+
+	stores := []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]}
+	if cfg.Tracer != nil {
+		e.SetTracer(cfg.Tracer)
+	}
+	if cfg.Metrics != nil {
+		e.SetMetrics(cfg.Metrics)
+		for i, prefix := range []string{"snode_fwd", "snode_rev"} {
+			if sn, ok := stores[i].(*snode.Representation); ok {
+				sn.RegisterMetrics(cfg.Metrics, prefix)
+			}
+		}
+	}
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	for _, s := range stores {
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(pace)
+		}
+		if hd, ok := s.(store.Hedger); ok {
+			hd.SetHedge(loadHedgeAfter)
+		}
+	}
+	defer func() {
+		for _, s := range stores {
+			if p, ok := s.(store.Pacer); ok {
+				p.SetPace(0)
+			}
+			if hd, ok := s.(store.Hedger); ok {
+				hd.SetHedge(0)
+			}
+		}
+	}()
+
+	srv, err := serve.New(serve.Config{
+		Engine:        e,
+		MaxConcurrent: loadMaxConcurrent,
+		MaxQueue:      loadMaxQueue,
+		Registry:      cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	h := &loadHarness{
+		base: "http://" + ln.Addr().String(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     30 * time.Second,
+		}},
+		ctrl: srv.Admission(),
+	}
+
+	dur := cfg.LoadDuration
+	if dur <= 0 {
+		dur = 2500 * time.Millisecond
+	}
+	workers := 2 * srv.Admission().MaxConcurrent()
+	capacity := h.probe(cfg.Seed, cfg.QuerySize, workers, dur)
+	if capacity <= 0 {
+		return nil, fmt.Errorf("bench: load capacity probe completed zero requests")
+	}
+
+	rep := &LoadReport{}
+	point := 0
+	run := func(kind string, fr float64) {
+		point++
+		w := newLoadWorkload(cfg.Seed+uint64(point)*104729, cfg.QuerySize)
+		arrivals := genTrace(w, kind, fr*capacity, dur)
+		rep.Rows = append(rep.Rows, h.runPoint(kind, fr, arrivals))
+	}
+	for _, fr := range loadFractions() {
+		run("poisson", fr)
+	}
+	for _, fr := range loadBurstFractions() {
+		run("burst", fr)
+	}
+
+	sum := LoadSummary{
+		CapacityQPS: capacity,
+		QueueBound:  loadMaxQueue,
+	}
+	for _, row := range rep.Rows {
+		if row.MaxQueueDepth > sum.MaxQueueDepthSeen {
+			sum.MaxQueueDepthSeen = row.MaxQueueDepth
+		}
+		if row.Trace != "poisson" {
+			continue
+		}
+		switch row.Fraction {
+		case 1.0:
+			sum.KneeOfferedRPS = row.OfferedRPS
+			sum.AtKneeP99MS = row.P99MS
+		case 2.0:
+			sum.At2xKneeP99MS = row.P99MS
+			sum.ShedAt2xKnee = row.Shed
+		}
+	}
+	if sum.AtKneeP99MS > 0 {
+		sum.P99Ratio = sum.At2xKneeP99MS / sum.AtKneeP99MS
+	}
+	for _, s := range stores {
+		if sn, ok := s.(*snode.Representation); ok {
+			launched, wins, _ := sn.HedgeStats()
+			sum.HedgesLaunched += launched
+			sum.HedgeWins += wins
+		}
+	}
+	rep.Summary = sum
+	return rep, nil
+}
+
+// RenderLoad prints the latency-vs-offered-load table and the knee
+// analysis.
+func RenderLoad(cfg Config, rep *LoadReport) {
+	w := cfg.out()
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	fmt.Fprintf(w, "Open-loop load: latency vs offered rate (%d pages, %d KB buffer, paced disk x%.2f, queue %d/class)\n",
+		cfg.QuerySize, cfg.QueryBudget>>10, pace, loadMaxQueue)
+	fmt.Fprintf(w, "closed-loop capacity probe: %.1f qps\n", rep.Summary.CapacityQPS)
+	fmt.Fprintf(w, "%8s %6s %9s %8s %9s %6s %5s %8s %8s %8s %5s\n",
+		"trace", "frac", "offered/s", "offered", "admitted", "shed", "err",
+		"p50ms", "p95ms", "p99ms", "maxq")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%8s %5.2fx %9.1f %8d %9d %6d %5d %8.1f %8.1f %8.1f %5d\n",
+			r.Trace, r.Fraction, r.OfferedRPS, r.Offered, r.Admitted, r.Shed,
+			r.Errors, r.P50MS, r.P95MS, r.P99MS, r.MaxQueueDepth)
+	}
+	s := rep.Summary
+	fmt.Fprintf(w, "knee: %.1f rps offered; admitted p99 %.1fms at the knee, %.1fms at 2x (%.2fx), %d shed at 2x\n",
+		s.KneeOfferedRPS, s.AtKneeP99MS, s.At2xKneeP99MS, s.P99Ratio, s.ShedAt2xKnee)
+	fmt.Fprintf(w, "queues stayed bounded: max depth %d of %d; hedged reads: %d launched, %d won\n",
+		s.MaxQueueDepthSeen, 2*s.QueueBound, s.HedgesLaunched, s.HedgeWins)
+	fmt.Fprintln(w, "(past the knee the server sheds with 429 + Retry-After instead of queueing unboundedly)")
+	fmt.Fprintln(w)
+}
+
+// LoadJSON writes the report (plus scale parameters and run
+// provenance) as the committed benchmark artifact.
+func LoadJSON(path string, cfg Config, rep *LoadReport) error {
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	doc := struct {
+		Experiment    string      `json:"experiment"`
+		Provenance    Provenance  `json:"provenance"`
+		Pages         int         `json:"pages"`
+		BudgetBytes   int64       `json:"budget_bytes"`
+		Pace          float64     `json:"pace"`
+		NavShare      float64     `json:"nav_share"`
+		QueuePerClass int         `json:"queue_per_class"`
+		HedgeAfterMS  int64       `json:"hedge_after_ms"`
+		Rows          []LoadRow   `json:"rows"`
+		Summary       LoadSummary `json:"summary"`
+	}{
+		Experiment:    "load",
+		Provenance:    NewProvenance(),
+		Pages:         cfg.QuerySize,
+		BudgetBytes:   cfg.QueryBudget,
+		Pace:          pace,
+		NavShare:      loadNavShare,
+		QueuePerClass: loadMaxQueue,
+		HedgeAfterMS:  loadHedgeAfter.Milliseconds(),
+		Rows:          rep.Rows,
+		Summary:       rep.Summary,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the fast test-load gate: the full open-loop
+// pipeline — capacity probe, Poisson and bursty traces, shedding,
+// knee summary, artifact writer — at a tiny scale and short windows.
+func TestLoadSmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.QuerySize = 4000
+	cfg.QueryBudget = 128 << 10
+	cfg.LoadDuration = 300 * time.Millisecond
+	rep, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(loadFractions()) + len(loadBurstFractions())
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	if rep.Summary.CapacityQPS <= 0 {
+		t.Fatalf("capacity probe reported %.1f qps", rep.Summary.CapacityQPS)
+	}
+	var sawPoisson2x bool
+	for _, r := range rep.Rows {
+		if r.Offered <= 0 {
+			t.Fatalf("point %s@%.2fx offered nothing", r.Trace, r.Fraction)
+		}
+		if r.Admitted+r.Shed+r.Errors != r.Offered {
+			t.Fatalf("point %s@%.2fx: admitted %d + shed %d + errors %d != offered %d",
+				r.Trace, r.Fraction, r.Admitted, r.Shed, r.Errors, r.Offered)
+		}
+		if r.Errors > 0 {
+			t.Fatalf("point %s@%.2fx: %d transport/5xx errors", r.Trace, r.Fraction, r.Errors)
+		}
+		// Queues must stay within the configured bound (two classes).
+		if r.MaxQueueDepth > 2*loadMaxQueue {
+			t.Fatalf("point %s@%.2fx: queue depth %d exceeds bound %d",
+				r.Trace, r.Fraction, r.MaxQueueDepth, 2*loadMaxQueue)
+		}
+		if r.Trace == "poisson" && r.Fraction == 2.0 {
+			sawPoisson2x = true
+			if r.Shed == 0 {
+				t.Error("no shedding at 2x capacity; admission control is not engaging")
+			}
+			if r.Admitted == 0 {
+				t.Error("nothing admitted at 2x capacity; the server collapsed instead of shedding")
+			}
+		}
+	}
+	if !sawPoisson2x {
+		t.Fatal("sweep is missing the poisson 2x point")
+	}
+
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderLoad(cfg, rep)
+	if !strings.Contains(sb.String(), "offered/s") || !strings.Contains(sb.String(), "knee") {
+		t.Fatalf("render output malformed:\n%s", sb.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := LoadJSON(path, cfg, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Rows       []LoadRow
+		Summary    LoadSummary
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Experiment != "load" || len(doc.Rows) != wantRows {
+		t.Fatalf("artifact experiment %q with %d rows", doc.Experiment, len(doc.Rows))
+	}
+}

@@ -205,12 +205,22 @@ func (a *Accountant) stall(d time.Duration) {
 	a.stallCtx(context.Background(), d)
 }
 
-// stallCtx is stall with trace attribution: when the calling request
-// is traced and this reader is the one that sleeps off the pooled
-// debt, the sleep is recorded as an "iosim.stall" span. Note the
-// pooled debt may include other readers' sub-threshold charges — the
-// span's pooled_ns attribute is the whole amount slept, which is
+// stallCtx is stall with trace attribution and cancellation: when the
+// calling request is traced and this reader is the one that sleeps off
+// the pooled debt, the sleep is recorded as an "iosim.stall" span. Note
+// the pooled debt may include other readers' sub-threshold charges —
+// the span's pooled_ns attribute is the whole amount slept, which is
 // exactly the wall time this request lost to the pacing layer.
+//
+// A cancellable ctx interrupts the sleep: the unslept remainder of the
+// pooled debt is handed back to the pool (the modeled cost was charged
+// and some reader must still pay it), and the caller returns promptly.
+// Cancellation is NOT surfaced as an error here — a read that already
+// happened stays a completed read, so a cancelled decode leader still
+// completes its flight with real data instead of poisoning coalesced
+// waiters with its own deadline. The waiters and the engine observe
+// ctx themselves; this only guarantees none of them is stuck behind a
+// multi-millisecond modeled stall when the request is already dead.
 func (a *Accountant) stallCtx(ctx context.Context, d time.Duration) {
 	if d <= 0 {
 		return
@@ -224,18 +234,34 @@ func (a *Accountant) stallCtx(ctx context.Context, d time.Duration) {
 		if a.debt.CompareAndSwap(cur, 0) {
 			traced := trace.Active(ctx)
 			var start time.Time
-			if traced {
+			if traced || ctx.Done() != nil {
 				start = time.Now()
 			}
-			time.Sleep(time.Duration(cur))
+			slept := cur
+			if done := ctx.Done(); done == nil {
+				time.Sleep(time.Duration(cur))
+			} else {
+				timer := time.NewTimer(time.Duration(cur))
+				select {
+				case <-timer.C:
+				case <-done:
+					timer.Stop()
+					if slept = int64(time.Since(start)); slept > cur {
+						slept = cur
+					}
+					// Hand the unslept remainder back: the modeled time was
+					// charged and the next paced reader owes it.
+					a.debt.Add(cur - slept)
+				}
+			}
 			a.stalls.Add(1)
-			a.stallNanos.Add(cur)
+			a.stallNanos.Add(slept)
 			if traced {
 				trace.RecordSpan(ctx, "iosim.stall", start, time.Since(start),
-					trace.Attr{Key: "pooled_ns", Val: cur})
+					trace.Attr{Key: "pooled_ns", Val: slept})
 			}
 			trace.Add(ctx, trace.CtrStalls, 1)
-			trace.Add(ctx, trace.CtrStallNanos, cur)
+			trace.Add(ctx, trace.CtrStallNanos, slept)
 			return
 		}
 	}

@@ -107,6 +107,7 @@ type Engine struct {
 	qHist       [Q6 + 1]*metrics.Histogram
 	resolveHist *metrics.Histogram
 	navHist     *metrics.Histogram
+	navLatHist  *metrics.Histogram
 	reg         *metrics.Registry
 
 	// tracer, wired by SetTracer (nil without), samples executions into
@@ -158,6 +159,37 @@ func (e *Engine) SetMetrics(reg *metrics.Registry) {
 	}
 	e.resolveHist = reg.Histogram("query_resolve_seconds", nil)
 	e.navHist = reg.Histogram("query_nav_seconds", nil)
+	e.navLatHist = reg.Histogram("query_latency_nav", nil)
+}
+
+// Neighbors is the navigation-class lookup the serving tier exposes:
+// one page's full out-adjacency, an order of magnitude lighter than the
+// Table 3 mining queries — the traffic mix's "click a link" class. It
+// carries the same serving instrumentation as Run: sampled executions
+// are traced under class "nav", and latency lands in the
+// query_latency_nav histogram with a trace exemplar. The finished
+// trace is returned (nil when unsampled) so the serving tier can
+// attribute pre-engine time — admission queue wait — on the root, the
+// way RunParallel attributes pool queue wait.
+func (e *Engine) Neighbors(ctx context.Context, p webgraph.PageID) ([]webgraph.PageID, *trace.Trace, error) {
+	var tr *trace.Trace
+	if e.tracer != nil {
+		ctx, tr = e.tracer.StartRequest(ctx, "nav")
+	}
+	start := time.Now()
+	out, err := e.fwdOut(ctx, p, nil, nil)
+	var traceID uint64
+	if tr != nil {
+		e.tracer.Finish(tr)
+		traceID = tr.ID
+	}
+	if err != nil {
+		return nil, tr, err
+	}
+	if h := e.navLatHist; h != nil {
+		h.ObserveExemplar(int64(time.Since(start)), traceID)
+	}
+	return out, tr, nil
 }
 
 // Run executes one query. The context propagates through the whole

@@ -1,0 +1,305 @@
+// Package serve is the HTTP query surface of the serving tier: the
+// /out (navigation-class) and /query (mining-class) endpoints that
+// snserve mounts and the open-loop load harness drives. It owns the
+// request lifecycle the robustness work of this layer is about:
+//
+//   - Class split: /out resolves one page's adjacency (the "click a
+//     link" traffic class, "nav"), /query runs one of the paper's six
+//     Table 3 analyses (the heavy "mining" class). The admission
+//     controller prioritizes nav over mining.
+//   - Deadline propagation: every request gets a context deadline —
+//     the client's ?deadline_ms, clamped, or the server default — and
+//     that context flows through admission, the engine, the S-Node
+//     reader, and the paced I/O layer, so a dead request stops
+//     consuming the serving stack at the next checkpoint.
+//   - Load shedding: requests the admission layer rejects (full queue,
+//     unmeetable deadline) and requests whose deadline fires while
+//     queued or mid-query are answered with 429 plus a Retry-After
+//     hint instead of occupying a slot to completion. From the
+//     client's perspective both mean the same thing: not served,
+//     back off and retry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"snode/internal/admission"
+	"snode/internal/metrics"
+	"snode/internal/query"
+	"snode/internal/webgraph"
+)
+
+// Request classes (admission queue names, metric labels).
+const (
+	ClassNav    = "nav"
+	ClassMining = "mining"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Engine executes the queries. Required. The server derives a
+	// Shared copy, so one engine may also be used elsewhere.
+	Engine *query.Engine
+	// MaxConcurrent bounds requests executing simultaneously
+	// (admission slots; <= 0 selects GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds each class's admission wait queue (<= 0 selects
+	// 64). Arrivals past a full queue are shed with 429.
+	MaxQueue int
+	// DefaultDeadline is applied to requests that do not send
+	// ?deadline_ms (0 = no default deadline).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines (default 30s).
+	MaxDeadline time.Duration
+	// Registry, when set, receives the serving metrics: the admission
+	// counters under "admission_*" and per-class end-to-end latency
+	// histograms serve_latency_nav / serve_latency_mining.
+	Registry *metrics.Registry
+}
+
+// Server handles the query endpoints. Safe for concurrent use.
+type Server struct {
+	eng             *query.Engine
+	ctrl            *admission.Controller
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+
+	navHist    *metrics.Histogram // end-to-end admitted-request latency
+	miningHist *metrics.Histogram
+}
+
+// New builds a server over the engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: Config.Engine is required")
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 30 * time.Second
+	}
+	ctrl, err := admission.New(admission.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		Classes: []admission.ClassConfig{
+			{Name: ClassNav, MaxQueue: cfg.MaxQueue},
+			{Name: ClassMining, MaxQueue: cfg.MaxQueue},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng:             cfg.Engine.Shared(),
+		ctrl:            ctrl,
+		defaultDeadline: cfg.DefaultDeadline,
+		maxDeadline:     cfg.MaxDeadline,
+	}
+	if cfg.Registry != nil {
+		ctrl.RegisterMetrics(cfg.Registry, "admission")
+		s.navHist = cfg.Registry.Histogram("serve_latency_nav", nil)
+		s.miningHist = cfg.Registry.Histogram("serve_latency_mining", nil)
+	}
+	return s, nil
+}
+
+// Admission exposes the controller (stats for the load harness and
+// tests).
+func (s *Server) Admission() *admission.Controller { return s.ctrl }
+
+// Register mounts the query endpoints on mux: /out and /query.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/out", s.handleOut)
+	mux.HandleFunc("/query", s.handleQuery)
+}
+
+// Handler returns a standalone handler serving only the query
+// endpoints (the in-process load harness mounts this).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// deadlineCtx derives the request's execution context: the client's
+// ?deadline_ms clamped to MaxDeadline, else the server default, else
+// the bare request context (which still dies when the client hangs
+// up — http.Server cancels it).
+func (s *Server) deadlineCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	d := s.defaultDeadline
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad deadline_ms %q", raw)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.maxDeadline {
+		d = s.maxDeadline
+	}
+	if d <= 0 {
+		return ctx, func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// shedResponse is the 429 body.
+type shedResponse struct {
+	Error        string `json:"error"`
+	Class        string `json:"class"`
+	Reason       string `json:"reason"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// writeShed answers a request that was not served to completion: an
+// admission reject, or a deadline/cancellation observed anywhere down
+// the stack. Always 429 + Retry-After — the uniform "not served, back
+// off" signal the open-loop clients key on.
+func (s *Server) writeShed(w http.ResponseWriter, class string, err error) {
+	reason := admission.ReasonDeadline
+	retryAfter := s.ctrl.EstimatedService()
+	var shed *admission.ShedError
+	if errors.As(err, &shed) {
+		reason = shed.Reason
+		retryAfter = shed.RetryAfter
+	} else if errors.Is(err, context.Canceled) {
+		reason = admission.ReasonCanceled
+	}
+	// Retry-After is whole seconds in HTTP; round up so "retry after
+	// 200ms" never becomes "retry immediately".
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(retryAfter.Seconds())), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(shedResponse{
+		Error:        err.Error(),
+		Class:        class,
+		Reason:       reason,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// isShed reports whether err means "request not served, retryable":
+// an admission reject or a propagated deadline/cancellation.
+func isShed(err error) bool {
+	var shed *admission.ShedError
+	return errors.As(err, &shed) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// OutResponse is the /out body.
+type OutResponse struct {
+	Page      webgraph.PageID   `json:"page"`
+	Neighbors []webgraph.PageID `json:"neighbors"`
+}
+
+// handleOut serves the navigation class: one page's out-adjacency.
+func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	raw := r.URL.Query().Get("page")
+	page, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad page %q", raw), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.deadlineCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	acqStart := time.Now()
+	release, err := s.ctrl.Acquire(ctx, ClassNav)
+	if err != nil {
+		s.writeShed(w, ClassNav, err)
+		return
+	}
+	wait := time.Since(acqStart)
+	defer release()
+	neighbors, tr, err := s.eng.Neighbors(ctx, webgraph.PageID(page))
+	if tr != nil {
+		// The trace starts inside the engine, after the admission wait
+		// has already elapsed; attribute it on the root after the fact
+		// (same idiom as RunParallel's queue_wait_ns).
+		tr.SetAttr("admission_wait_ns", int64(wait))
+	}
+	if err != nil {
+		if isShed(err) {
+			s.writeShed(w, ClassNav, err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if neighbors == nil {
+		neighbors = []webgraph.PageID{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(OutResponse{Page: webgraph.PageID(page), Neighbors: neighbors})
+	if s.navHist != nil {
+		s.navHist.ObserveDuration(time.Since(start))
+	}
+}
+
+// QueryResponse is the /query body.
+type QueryResponse struct {
+	Query int         `json:"query"`
+	Rows  []query.Row `json:"rows"`
+	NavMS float64     `json:"nav_ms"`
+}
+
+// handleQuery serves the mining class: one Table 3 analysis.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	raw := r.URL.Query().Get("q")
+	qn, err := strconv.Atoi(raw)
+	if err != nil || qn < int(query.Q1) || qn > int(query.Q6) {
+		http.Error(w, fmt.Sprintf("bad q %q (want 1..6)", raw), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.deadlineCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	acqStart := time.Now()
+	release, err := s.ctrl.Acquire(ctx, ClassMining)
+	if err != nil {
+		s.writeShed(w, ClassMining, err)
+		return
+	}
+	wait := time.Since(acqStart)
+	defer release()
+	res, err := s.eng.Run(ctx, query.ID(qn))
+	if err == nil && res.Trace != nil {
+		res.Trace.SetAttr("admission_wait_ns", int64(wait))
+	}
+	if err != nil {
+		if isShed(err) {
+			s.writeShed(w, ClassMining, err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rows := res.Rows
+	if rows == nil {
+		rows = []query.Row{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(QueryResponse{
+		Query: qn,
+		Rows:  rows,
+		NavMS: float64(res.Nav.Total()) / float64(time.Millisecond),
+	})
+	if s.miningHist != nil {
+		s.miningHist.ObserveDuration(time.Since(start))
+	}
+}

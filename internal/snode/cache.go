@@ -139,13 +139,15 @@ const (
 	claimBusy          // another goroutine is decoding; caller backs off
 )
 
-// claim resolves a graph that get reported missing: it returns the
-// graph if a concurrent decode finished meanwhile, blocks on an
-// in-flight decode if one exists (counting a Coalesced dedup), or makes
-// the caller the decode leader (leader=true), who MUST call complete
-// exactly once. claim itself never counts a hit or miss — the get that
-// preceded it already did.
-func (c *graphCache) claim(id GraphID) (g decodedGraph, err error, leader bool) {
+// claimNoWait resolves a graph that get reported missing without ever
+// blocking: it returns the graph if a concurrent decode finished
+// meanwhile, hands back the in-flight decode if one exists (the caller
+// waits on fl.done itself — with cancellation, or hedged; counting the
+// Coalesced dedup happens here, at claim time), or makes the caller the
+// decode leader (leader=true), who MUST call complete exactly once.
+// claimNoWait never counts a hit or miss — the get that preceded it
+// already did.
+func (c *graphCache) claimNoWait(id GraphID) (g decodedGraph, fl *inflightDecode, leader bool) {
 	s := c.shard(id)
 	s.mu.Lock()
 	if el, ok := s.byID[id]; ok {
@@ -162,13 +164,38 @@ func (c *graphCache) claim(id GraphID) (g decodedGraph, err error, leader bool) 
 	if fl, ok := s.inflight[id]; ok {
 		s.stats.Coalesced++
 		s.mu.Unlock()
-		<-fl.done
-		return fl.g, fl.err, false
+		return nil, fl, false
 	}
-	fl := &inflightDecode{done: make(chan struct{})}
+	fl = &inflightDecode{done: make(chan struct{})}
 	s.inflight[id] = fl
 	s.mu.Unlock()
 	return nil, nil, true
+}
+
+// claim is claimNoWait plus the plain blocking wait on another
+// goroutine's in-flight decode — the uncancellable form the internal
+// sequential paths (Verify, DecodeAll's loads) use.
+func (c *graphCache) claim(id GraphID) (g decodedGraph, err error, leader bool) {
+	g, fl, leader := c.claimNoWait(id)
+	if leader || fl == nil {
+		return g, nil, leader
+	}
+	<-fl.done
+	return fl.g, fl.err, false
+}
+
+// inflightCount reports decodes currently claimed but not completed —
+// the gauge the shutdown and deadline tests use to assert no decode is
+// orphaned.
+func (c *graphCache) inflightCount() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.inflight))
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // tryClaim is claim without blocking: when another goroutine is already

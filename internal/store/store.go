@@ -105,6 +105,15 @@ type Pacer interface {
 	SetPace(scale float64)
 }
 
+// Hedger is implemented by stores that can hedge coalesced cache-miss
+// waits: a request blocked behind another request's in-flight decode
+// for longer than after launches its own private read+decode and takes
+// whichever result lands first — the classic tail-latency cure for p99
+// stragglers on the cache-miss path. 0 disables.
+type Hedger interface {
+	SetHedge(after time.Duration)
+}
+
 // Sized is implemented by stores that can report their total on-disk /
 // in-memory representation size for the compression experiments.
 type Sized interface {

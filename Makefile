@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load check bench bench-json bench-build bench-update bench-load clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard check bench bench-json bench-build bench-update bench-load bench-shard clean
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,16 @@ test-load:
 	$(GO) test -count=1 -run 'TestLoadSmoke' ./internal/bench
 	$(GO) test -count=1 -run 'TestAllCoversEveryRegisteredExperiment' ./cmd/snbench
 
-check: build vet test test-race check-overhead test-determinism test-delta-race test-load
+# Distributed-serving gate, under the race detector: the golden
+# equivalence tests (partial queries merged across K shards ==
+# single-node rows, in-process and through the HTTP router, cross-shard
+# /out included) plus the failure drills — replica ejection, probe
+# re-admission, kill-one-replica failover, version-skew rejection. Run
+# with -count=1 so the gate always executes.
+test-shard:
+	$(GO) test -race -count=1 ./internal/shard ./internal/router
+
+check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -85,6 +94,16 @@ bench-update:
 # p99.
 bench-load:
 	$(GO) run ./cmd/snbench -experiment load -quick -load-out BENCH_PR6.json
+
+# Shard-scaling artifact: the same closed-loop mixed workload against a
+# single-node server and against the scatter-gather router at K=1/2/4
+# shards (QPS, per-class p50/p99, speedup vs single-node), committed
+# per PR so distributed-serving regressions show up in review. Full
+# modeled pacing keeps the tier I/O-bound, so the speedup column
+# measures shard parallelism rather than the host's core count (the
+# provenance block records both).
+bench-shard:
+	$(GO) run ./cmd/snbench -experiment shard -quick -shard-out BENCH_PR7.json
 
 clean:
 	$(GO) clean ./...

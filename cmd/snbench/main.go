@@ -12,6 +12,7 @@
 //	snbench -experiment build        # build wall time vs workers
 //	snbench -experiment update       # serving latency vs delta depth
 //	snbench -experiment load         # open-loop latency vs offered load
+//	snbench -experiment shard        # distributed serving QPS vs shard count
 //
 // -quick runs a reduced scale for smoke testing.
 //
@@ -40,6 +41,7 @@ type runFlags struct {
 	buildOut  string
 	updateOut string
 	loadOut   string
+	shardOut  string
 }
 
 // experimentSpec is one registry entry. name is the canonical
@@ -65,6 +67,7 @@ func experiments() []experimentSpec {
 		{name: "build", desc: "build wall time vs workers", run: runBuildScaling},
 		{name: "update", desc: "serving latency vs delta depth", run: runUpdate},
 		{name: "load", desc: "open-loop latency vs offered load", run: runLoad},
+		{name: "shard", desc: "distributed serving QPS vs shard count", run: runShard},
 		{name: "ablation", desc: "§3 design-choice studies", run: runAblation},
 	}
 }
@@ -221,6 +224,21 @@ func runLoad(rf *runFlags) error {
 	return nil
 }
 
+func runShard(rf *runFlags) error {
+	rep, err := bench.Shard(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderShard(rf.cfg, rep)
+	if rf.shardOut != "" {
+		if err := bench.ShardJSON(rf.shardOut, rf.cfg, rep); err != nil {
+			return err
+		}
+		fmt.Printf("shard-scaling rows written to %s\n", rf.shardOut)
+	}
+	return nil
+}
+
 func runAblation(rf *runFlags) error {
 	rows, err := bench.Ablations(rf.cfg)
 	if err != nil {
@@ -254,6 +272,7 @@ func main() {
 	buildOut := flag.String("build-out", "", "write the build-scaling rows as JSON to this file after the run")
 	updateOut := flag.String("update-out", "", "write the serving-under-churn rows as JSON to this file after the run")
 	loadOut := flag.String("load-out", "", "write the open-loop load rows as JSON to this file after the run")
+	shardOut := flag.String("shard-out", "", "write the shard-scaling rows as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -290,6 +309,7 @@ func main() {
 		buildOut:  *buildOut,
 		updateOut: *updateOut,
 		loadOut:   *loadOut,
+		shardOut:  *shardOut,
 	}
 	for _, spec := range specs {
 		name := spec.name

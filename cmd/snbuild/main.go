@@ -3,6 +3,15 @@
 //
 //	snbuild -crawl ./crawl -out ./repo -scheme snode
 //	snbuild -crawl ./crawl -out ./repo -scheme all -workers 8 -progress
+//
+// With -shards K (K > 0), snbuild instead emits a K-way domain
+// partition for the distributed serving tier (internal/shard): a
+// versioned manifest, replicated global metadata and PageRank, and per
+// shard an S-Node store over its intra-shard edges plus boundary
+// stores for the cross-shard rest. Serve each shard with
+// `snserve -shard-root OUT -shard-id I` and front them with snrouter.
+//
+//	snbuild -crawl ./crawl -out ./shards -shards 4
 package main
 
 import (
@@ -17,8 +26,10 @@ import (
 	"snode/internal/corpusio"
 	"snode/internal/metrics"
 	"snode/internal/repo"
+	"snode/internal/shard"
 	"snode/internal/snode"
 	"snode/internal/store"
+	"snode/internal/synth"
 )
 
 // options are the validated command-line inputs.
@@ -31,6 +42,7 @@ type options struct {
 	transpose bool
 	verify    bool
 	progress  bool
+	shards    int
 }
 
 // usageError prints the problem in flag-package style (message plus
@@ -55,6 +67,7 @@ func parseFlags() options {
 	flag.BoolVar(&o.transpose, "transpose", true, "also build WGT representations")
 	flag.BoolVar(&o.verify, "verify", false, "verify the S-Node representation after building")
 	flag.BoolVar(&o.progress, "progress", false, "print a periodic build-progress line (elements split / supernodes encoded) to stderr")
+	flag.IntVar(&o.shards, "shards", 0, "emit a K-way domain partition for the distributed serving tier instead of a single repository (0 disables)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -78,10 +91,36 @@ func parseFlags() options {
 	if o.workers <= 0 {
 		usageError("-workers must be positive, got %d", o.workers)
 	}
+	if o.shards < 0 {
+		usageError("-shards must be >= 0, got %d", o.shards)
+	}
 	if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
 		usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
 	}
 	return o
+}
+
+// buildShards emits the K-way partition and prints its shape: per
+// shard the page count, intra-edge count, and the boundary split.
+func buildShards(crawl *synth.Crawl, o options, cfg snode.Config) {
+	start := time.Now()
+	m, err := shard.Build(crawl, o.shards, o.out, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snbuild:", err)
+		os.Exit(1)
+	}
+	total := crawl.Corpus.Graph.NumEdges()
+	var intra, boundary int64
+	fmt.Printf("%-8s %10s %12s %14s %14s\n", "shard", "pages", "intra-edges", "boundary-fwd", "boundary-rev")
+	for i, e := range m.Shards {
+		fmt.Printf("%-8d %10d %12d %14d %14d\n", i, e.Pages, e.IntraEdges, e.BoundaryFwdEdges, e.BoundaryRevEdges)
+		intra += e.IntraEdges
+		boundary += e.BoundaryFwdEdges
+	}
+	fmt.Printf("\nmanifest %s: %d pages, %d shards; %d/%d edges intra-shard (%.1f%%), built in %v\n",
+		m.Version, m.NumPages, m.NumShards, intra, total,
+		100*float64(intra)/float64(total), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("serve with: snserve -shard-root %s -shard-id I -listen :PORT, fronted by snrouter -root %s\n", o.out, o.out)
 }
 
 // reportProgress prints one stderr line per tick from the build_*
@@ -126,6 +165,10 @@ func main() {
 		stop := make(chan struct{})
 		go reportProgress(reg, stop)
 		defer close(stop)
+	}
+	if o.shards > 0 {
+		buildShards(crawl, o, opt.SNode)
+		return
 	}
 	r, err := repo.Build(crawl.Corpus, opt)
 	if err != nil {

@@ -1,0 +1,181 @@
+// Command snrouter is the scatter-gather front of the distributed
+// serving tier. It loads a shard manifest (written by snbuild -shards)
+// plus the forward boundary stores, and routes the serving endpoints
+// across the shard replicas:
+//
+//	/out      ?page=N: routed to the ONE shard owning the page, with
+//	          the page's cross-shard targets appended from the
+//	          router-resident boundary store
+//	/query    ?q=1..6: scattered as ?partial=1 to EVERY shard, merged
+//	          with the query's merge class into single-node rows
+//	/healthz  readiness
+//	/metrics  router_* counters (requests per class, failovers,
+//	          fan-out errors, sheds, ejections, re-admissions,
+//	          version skew)
+//
+// Replicas are named per shard:
+//
+//	snrouter -root /data/shards \
+//	  -replicas "http://s0a:8080,http://s0b:8080;http://s1a:8080"
+//
+// Groups are ';'-separated in shard order; URLs within a group are
+// ','-separated. A replica is ejected after -eject-after consecutive
+// failures, re-probed every -probe-interval via /healthz, and healed
+// immediately by any in-band success. A 429 from a shard is relayed —
+// aggregated across legs as the maximum Retry-After — rather than
+// failed over, and a replica serving a different manifest version than
+// the router's is treated as down (version skew).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"snode/internal/metrics"
+	"snode/internal/router"
+	"snode/internal/shard"
+	"snode/internal/trace"
+)
+
+// parseReplicas splits a ';'-separated list of ','-separated URL
+// groups into per-shard replica lists.
+func parseReplicas(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-replicas is required")
+	}
+	var out [][]string
+	for i, group := range strings.Split(spec, ";") {
+		var urls []string
+		for _, u := range strings.Split(group, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("shard %d: replica %q is not an http(s) URL", i, u)
+			}
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard %d: empty replica group", i)
+		}
+		out = append(out, urls)
+	}
+	return out, nil
+}
+
+func main() {
+	root := flag.String("root", "", "shard root directory (holds manifest.json; required)")
+	replicas := flag.String("replicas", "", "per-shard replica URLs: groups ';'-separated in shard order, URLs ','-separated within a group (required)")
+	listen := flag.String("listen", ":8080", "address to serve /out, /query, /healthz, /metrics on")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Second, "per-leg deadline for each shard request")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures that eject a replica from selection")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "ejected-replica health-probe period")
+	traceEvery := flag.Int("trace-every", 64, "trace 1 in N routed requests (0 disables tracing)")
+	traceSlow := flag.Int("trace-slow", 4, "retain the N slowest traces per request class")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "snrouter: %v\n", err)
+		os.Exit(1)
+	}
+	if *root == "" {
+		fail(fmt.Errorf("-root is required"))
+	}
+	reps, err := parseReplicas(*replicas)
+	if err != nil {
+		fail(err)
+	}
+	if *shardTimeout <= 0 {
+		fail(fmt.Errorf("-shard-timeout must be positive (got %v)", *shardTimeout))
+	}
+	if *ejectAfter < 1 {
+		fail(fmt.Errorf("-eject-after must be >= 1 (got %d)", *ejectAfter))
+	}
+	if err := run(*root, reps, *listen, *shardTimeout, *ejectAfter, *probeInterval, *traceEvery, *traceSlow); err != nil {
+		fail(err)
+	}
+}
+
+func run(root string, reps [][]string, listen string, shardTimeout time.Duration, ejectAfter int, probeInterval time.Duration, traceEvery, traceSlow int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	m, err := shard.LoadManifest(root)
+	if err != nil {
+		return err
+	}
+	if len(reps) != m.NumShards {
+		return fmt.Errorf("-replicas names %d shard group(s), manifest has %d shards", len(reps), m.NumShards)
+	}
+	bs, err := shard.LoadFwdBoundaries(root, m)
+	if err != nil {
+		return err
+	}
+	boundaryEdges := int64(0)
+	for _, b := range bs {
+		boundaryEdges += b.NumEdges()
+	}
+
+	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	if traceEvery > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: traceEvery, SlowPerClass: traceSlow})
+	}
+	r, err := router.New(router.Config{
+		Manifest:      m,
+		Boundaries:    bs,
+		Replicas:      reps,
+		ShardTimeout:  shardTimeout,
+		EjectAfter:    ejectAfter,
+		ProbeInterval: probeInterval,
+		Registry:      reg,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	mux := http.NewServeMux()
+	r.Register(mux)
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", trace.Handler(tracer))
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("-listen %s: %w", listen, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "snrouter: http: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("manifest %s: %d pages, %d shards, %d cross-shard edges resident\n",
+		m.Version, m.NumPages, m.NumShards, boundaryEdges)
+	for s, urls := range reps {
+		fmt.Printf("  shard %d (%d pages): %s\n", s, m.Shards[s].Pages, strings.Join(urls, ", "))
+	}
+	fmt.Printf("routing on http://%s/out and /query (leg timeout %v, eject after %d, probe every %v)\n",
+		ln.Addr(), shardTimeout, ejectAfter, probeInterval)
+
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+	}
+	return nil
+}

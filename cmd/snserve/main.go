@@ -64,6 +64,20 @@
 // accepting, in-flight requests drain under the -drain deadline, the
 // compactors stop, and the delta memtables are sealed to disk before
 // exit.
+//
+// With -shard-root and -shard-id, snserve instead serves ONE shard of
+// a partition built by `snbuild -shards K`: it opens the shard's
+// S-Node stores plus boundary overlays under the global ID space,
+// restricts the mining engine to the pages the shard owns, and
+// answers /query?partial=1 with untruncated group-tagged partial rows
+// for the router (snrouter) to merge. /out answers with intra-shard
+// edges only — the router appends the cross-shard rest from its
+// resident boundary stores. Responses carry X-SNode-Shard and
+// X-SNode-Shard-Version headers so the router can detect build/serve
+// version skew. Shard mode requires -listen and ignores the workload
+// flags (-pages, -goroutines, -rounds, -live).
+//
+//	snserve -shard-root ./shards -shard-id 0 -listen :8081
 package main
 
 import (
@@ -91,6 +105,7 @@ import (
 	"snode/internal/query"
 	"snode/internal/repo"
 	"snode/internal/serve"
+	"snode/internal/shard"
 	"snode/internal/snode"
 	"snode/internal/store"
 	"snode/internal/synth"
@@ -129,6 +144,9 @@ type options struct {
 	maxQueue      int
 	deadline      time.Duration
 	hedgeAfter    time.Duration
+
+	shardRoot string
+	shardID   int
 }
 
 // validate rejects flag combinations that would previously slip
@@ -169,6 +187,19 @@ func validate(o *options) error {
 	if o.hedgeAfter < 0 {
 		return fmt.Errorf("-hedge-after must be >= 0 (got %v; 0 disables hedging)", o.hedgeAfter)
 	}
+	if o.shardRoot != "" {
+		if o.shardID < 0 {
+			return fmt.Errorf("-shard-id must be >= 0 (got %d)", o.shardID)
+		}
+		if o.listen == "" {
+			return fmt.Errorf("-shard-root requires -listen: a shard replica exists to be routed to")
+		}
+		if o.live {
+			return fmt.Errorf("-live is not supported in shard mode (updates would bypass the partition)")
+		}
+	} else if o.shardID != -1 {
+		return fmt.Errorf("-shard-id requires -shard-root")
+	}
 	return nil
 }
 
@@ -190,6 +221,8 @@ func main() {
 	flag.IntVar(&o.maxQueue, "max-queue", 64, "bounded admission queue per request class; arrivals past it are shed with 429")
 	flag.DurationVar(&o.deadline, "deadline", 0, "default deadline for /out and /query requests (0 = none; ?deadline_ms overrides)")
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "hedge a coalesced cache-miss wait after this long (0 disables hedged reads)")
+	flag.StringVar(&o.shardRoot, "shard-root", "", "serve one shard of a partition built by snbuild -shards (directory holding manifest.json)")
+	flag.IntVar(&o.shardID, "shard-id", -1, "which shard of -shard-root to serve")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -203,9 +236,89 @@ func main() {
 	if err := validate(o); err != nil {
 		fail(err)
 	}
+	if o.shardRoot != "" {
+		if err := runShard(o); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if err := runServe(o); err != nil {
 		fail(err)
 	}
+}
+
+// runShard serves one shard of a pre-built partition: the mining
+// engine reads the boundary-merged repository restricted to owned
+// pages (partial queries for the router to merge), the navigation
+// engine reads the bare intra-shard stores, and every response is
+// stamped with the shard's identity and manifest version.
+func runShard(o *options) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	sh, err := shard.OpenServing(o.shardRoot, o.shardID, o.budget, iosim.Model2002())
+	if err != nil {
+		return err
+	}
+	defer sh.Close()
+	m := sh.Manifest
+
+	e, err := query.New(sh.Repo, repo.SchemeSNode)
+	if err != nil {
+		return err
+	}
+	e.SetOwner(sh.Owns)
+	nav, err := query.New(sh.NavRepo, repo.SchemeSNode)
+	if err != nil {
+		return err
+	}
+
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+	var tracer *trace.Tracer
+	if o.traceEvery > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: o.traceEvery, SlowPerClass: o.traceSlow})
+		e.SetTracer(tracer)
+	}
+	prefixes := []string{"snode_fwd", "snode_rev"}
+	for i, s := range []store.LinkStore{sh.NavRepo.Fwd[repo.SchemeSNode], sh.NavRepo.Rev[repo.SchemeSNode]} {
+		if sn, ok := s.(*snode.Representation); ok {
+			sn.RegisterMetrics(reg, prefixes[i])
+		}
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(o.pace)
+		}
+		if o.hedgeAfter > 0 {
+			if hd, ok := s.(store.Hedger); ok {
+				hd.SetHedge(o.hedgeAfter)
+			}
+		}
+	}
+
+	qs, err := serve.New(serve.Config{
+		Engine:          e,
+		NavEngine:       nav,
+		Shard:           &serve.ShardInfo{ID: sh.ID, Count: m.NumShards, Version: m.Version},
+		MaxConcurrent:   o.maxConcurrent,
+		MaxQueue:        o.maxQueue,
+		DefaultDeadline: o.deadline,
+		Registry:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	state := &liveState{}
+	srv, addr, err := startHTTP(o.listen, buildMux(reg, tracer, state, qs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d/%d (manifest %s): %d owned pages, %d intra edges, boundary %d fwd / %d rev\n",
+		sh.ID, m.NumShards, m.Version, m.Shards[sh.ID].Pages, m.Shards[sh.ID].IntraEdges,
+		m.Shards[sh.ID].BoundaryFwdEdges, m.Shards[sh.ID].BoundaryRevEdges)
+	fmt.Printf("partial queries on http://%s/query?partial=1, intra-shard /out (admission: %d slots, queue %d/class)\n",
+		addr, qs.Admission().MaxConcurrent(), o.maxQueue)
+	<-ctx.Done()
+	return shutdown(o, state, srv, nil)
 }
 
 // liveState is the serving process's mutable state: the delta overlays

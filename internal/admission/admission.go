@@ -195,7 +195,7 @@ func (c *Controller) Acquire(ctx context.Context, class string) (release func(),
 		c.running++
 		cs.admitted++
 		c.mu.Unlock()
-		return c.releaseFunc(time.Now()), nil
+		return c.releaseFunc(ctx, time.Now()), nil
 	}
 	if dl, hasDL := ctx.Deadline(); hasDL {
 		if wait := c.estWaitLocked(cs); time.Now().Add(wait).After(dl) {
@@ -251,21 +251,33 @@ func (c *Controller) Acquire(ctx context.Context, class string) (release func(),
 		trace.RecordSpan(ctx, "admission.wait", enqueued, wait,
 			trace.Attr{Key: "queued_ns", Val: int64(wait)})
 	}
-	return c.releaseFunc(time.Now()), nil
+	return c.releaseFunc(ctx, time.Now()), nil
 }
 
 // releaseFunc builds the once-only release closure for an admitted
 // request: it folds the observed service time into the EWMA, frees the
 // slot, and hands it to the highest-priority waiter, if any.
-func (c *Controller) releaseFunc(admitted time.Time) func() {
+//
+// Releases whose context is already dead do not feed the EWMA: a
+// request admitted with a nearly-expired deadline unwinds at its first
+// cancellation checkpoint, and folding that near-zero "service time"
+// into estService would shrink the Retry-After hints and defeat the
+// deadline-aware early shed (every doomed admission would make the
+// controller more optimistic, admitting more doomed requests).
+func (c *Controller) releaseFunc(ctx context.Context, admitted time.Time) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			observed := time.Since(admitted)
+			ctxDead := ctx.Err() != nil
 			c.mu.Lock()
 			// EWMA with alpha 1/4: stable against one outlier, adapts in
-			// a few requests when the workload shifts.
-			c.estService = (3*c.estService + observed) / 4
+			// a few requests when the workload shifts. Ctx-dead releases
+			// measure how fast the request unwound, not how long service
+			// takes — skip them.
+			if !ctxDead {
+				c.estService = (3*c.estService + observed) / 4
+			}
 			c.running--
 			for _, cs := range c.classes {
 				if len(cs.waiters) > 0 {

@@ -627,3 +627,117 @@ func TestAdmissionRaceWithCancel(t *testing.T) {
 		t.Fatalf("leaked state: running %d, depth %d", c.Running(), c.QueueDepth())
 	}
 }
+
+// TestEstServiceStableUnderExpiredDeadlineBurst is the EWMA-poisoning
+// regression test: requests admitted through the free-slot fast path
+// with an already-expired deadline release almost instantly, and those
+// near-zero samples must NOT fold into the service-time estimate —
+// before the fix, a burst like this collapsed EstimatedService toward
+// zero, shrinking Retry-After hints and defeating the deadline-aware
+// early shed.
+func TestEstServiceStableUnderExpiredDeadlineBurst(t *testing.T) {
+	const seed = 50 * time.Millisecond
+	c, err := New(Config{
+		MaxConcurrent: 2,
+		Classes:       []ClassConfig{{Name: "nav"}},
+		EstService:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		// Deadline already expired: the free-slot fast path still admits
+		// (it does not consult the deadline), and the handler unwinds at
+		// its first cancellation checkpoint.
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+		rel, err := c.Acquire(ctx, "nav")
+		if err != nil {
+			t.Fatalf("fast-path Acquire %d: %v", i, err)
+		}
+		rel()
+		cancel()
+	}
+	if got := c.EstimatedService(); got != seed {
+		t.Fatalf("EstimatedService = %v after expired-deadline burst, want unchanged %v", got, seed)
+	}
+	// Live releases must still update the estimate.
+	rel, err := c.Acquire(context.Background(), "nav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if got := c.EstimatedService(); got >= seed {
+		t.Fatalf("EstimatedService = %v after a fast live release, want < %v (EWMA still adapts)", got, seed)
+	}
+}
+
+// TestAdmitCancelRaceOrderings is the table-driven companion to
+// TestAdmissionRaceWithCancel: it pins the keep-the-slot path (release
+// hands the slot to a waiter whose ctx fires at the same moment) under
+// each interleaving of release and cancel, asserting the waiter's
+// outcome is exactly one of admitted/shed and accounting stays exact.
+func TestAdmitCancelRaceOrderings(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(rel, cancel func())
+	}{
+		// Admission lands first: the waiter may still observe ctx.Done
+		// in its select and must keep the slot (w.admitted true).
+		{"release-then-cancel", func(rel, cancel func()) { rel(); cancel() }},
+		// Cancellation lands first, but release may still beat the
+		// waiter to the lock and admit it.
+		{"cancel-then-release", func(rel, cancel func()) { cancel(); rel() }},
+		{"concurrent", func(rel, cancel func()) {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); rel() }()
+			go func() { defer wg.Done(); cancel() }()
+			wg.Wait()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTest(t, 1, 64, 64)
+			kept := 0
+			for i := 0; i < 200; i++ {
+				rel := fillSlots(t, c, "nav", 1)[0]
+				ctx, cancel := context.WithCancel(context.Background())
+				type outcome struct {
+					err     error
+					ctxDead bool
+				}
+				got := make(chan outcome, 1)
+				go func() {
+					r, err := c.Acquire(ctx, "nav")
+					dead := ctx.Err() != nil
+					if err == nil {
+						r()
+					}
+					got <- outcome{err, dead}
+				}()
+				waitForDepth(t, c, 1)
+				tc.run(rel, cancel)
+				o := <-got
+				if o.err == nil && o.ctxDead {
+					kept++ // admitted despite a dead ctx: the keep-the-slot path
+				}
+				if o.err != nil {
+					var shed *ShedError
+					if !errors.As(o.err, &shed) || shed.Reason != ReasonCanceled {
+						t.Fatalf("iteration %d: unexpected error %v", i, o.err)
+					}
+				}
+				cancel()
+				if c.Running() != 0 || c.QueueDepth() != 0 {
+					t.Fatalf("iteration %d: leaked state: running %d, depth %d",
+						i, c.Running(), c.QueueDepth())
+				}
+			}
+			t.Logf("kept-the-slot admissions: %d/200", kept)
+			st := c.Stats()["nav"]
+			if st.Offered != st.Admitted+st.Shed {
+				t.Fatalf("offered %d != admitted %d + shed %d", st.Offered, st.Admitted, st.Shed)
+			}
+		})
+	}
+}

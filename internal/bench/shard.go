@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/router"
+	"snode/internal/serve"
+	"snode/internal/shard"
+	"snode/internal/store"
+)
+
+// The shard experiment measures what the distributed serving tier buys:
+// the same closed-loop mixed workload (92% navigation, 8% mining —
+// loadNavShare) is driven against a single-node server and against a
+// scatter-gather router fronting K ∈ {1, 2, 4} shard replicas, all
+// over real HTTP on loopback with paced I/O. Each shard holds an
+// S-Node store over its intra-shard edges only, so navigation requests
+// — the overwhelming share — touch ONE shard and scale with K, while
+// mining queries scatter to every shard as owned-restricted partials
+// and merge at the router. K=1 through the router isolates the
+// router's own overhead from the scaling.
+
+// shardKs is the shard-count series.
+func shardKs() []int { return []int{1, 2, 4} }
+
+// shardWorkersPerSlot sizes the closed loop: enough concurrent clients
+// per admission slot in the tier to keep every shard busy without
+// drowning the queues.
+const shardWorkersPerSlot = 2
+
+// ShardRow is one serving tier's measurement.
+type ShardRow struct {
+	Tier     string        `json:"tier"` // "single" | "router"
+	K        int           `json:"shards"`
+	Workers  int           `json:"workers"`
+	Duration time.Duration `json:"duration_ns"`
+	Requests int64         `json:"requests"`
+	OK       int64         `json:"ok"`
+	Shed     int64         `json:"shed"`
+	Errors   int64         `json:"errors"`
+	QPS      float64       `json:"qps"`
+	// Per-class client-observed latency of 200 responses.
+	NavP50MS    float64 `json:"nav_p50_ms"`
+	NavP99MS    float64 `json:"nav_p99_ms"`
+	MiningP50MS float64 `json:"mining_p50_ms"`
+	MiningP99MS float64 `json:"mining_p99_ms"`
+	// Speedup is QPS over the single-node row's.
+	Speedup float64 `json:"speedup_vs_single"`
+	// Partition shape (router rows only): how much of the edge set
+	// stayed intra-shard.
+	IntraEdgePct float64 `json:"intra_edge_pct,omitempty"`
+}
+
+// ShardReport is the experiment's full result.
+type ShardReport struct {
+	Rows []ShardRow `json:"rows"`
+}
+
+// shardClosedLoop drives `workers` clients back to back against base
+// for d and aggregates the outcome into a row.
+func shardClosedLoop(base string, client *http.Client, seed uint64, pages, workers int, d time.Duration) ShardRow {
+	h := &loadHarness{base: base, client: client}
+	var requests, ok, shed, errs int64
+	var mu sync.Mutex
+	var navLat, miningLat []time.Duration
+	stop := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newLoadWorkload(seed+uint64(g)*7919+1, pages)
+			for time.Now().Before(stop) {
+				a := w.draw(0)
+				okReq, shedReq, lat, err := h.do(a)
+				atomic.AddInt64(&requests, 1)
+				switch {
+				case err != nil:
+					atomic.AddInt64(&errs, 1)
+				case okReq:
+					atomic.AddInt64(&ok, 1)
+					mu.Lock()
+					if a.nav {
+						navLat = append(navLat, lat)
+					} else {
+						miningLat = append(miningLat, lat)
+					}
+					mu.Unlock()
+				case shedReq:
+					atomic.AddInt64(&shed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return ShardRow{
+		Workers:     workers,
+		Duration:    elapsed,
+		Requests:    requests,
+		OK:          ok,
+		Shed:        shed,
+		Errors:      errs,
+		QPS:         float64(ok) / elapsed.Seconds(),
+		NavP50MS:    percentileMS(navLat, 0.50),
+		NavP99MS:    percentileMS(navLat, 0.99),
+		MiningP50MS: percentileMS(miningLat, 0.50),
+		MiningP99MS: percentileMS(miningLat, 0.99),
+	}
+}
+
+// shardServe starts one serve.Server over HTTP and returns its base
+// URL plus a shutdown func.
+func shardServe(cfg serve.Config) (string, func(), error) {
+	qs, err := serve.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: qs.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// paceStores applies the experiment's I/O pacing to a repository's
+// serving stores.
+func paceStores(r *repo.Repository, pace float64) {
+	for _, s := range []store.LinkStore{r.Fwd[repo.SchemeSNode], r.Rev[repo.SchemeSNode]} {
+		if p, ok := s.(store.Pacer); ok {
+			p.SetPace(pace)
+		}
+	}
+}
+
+// Shard runs the distributed-serving scaling experiment.
+func Shard(cfg Config) (*ShardReport, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	dur := cfg.LoadDuration
+	if dur <= 0 {
+		dur = 2500 * time.Millisecond
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+		IdleConnTimeout:     30 * time.Second,
+	}}
+	rep := &ShardReport{}
+
+	// Single-node baseline: one server, one S-Node repository.
+	opt := repo.DefaultOptions(filepath.Join(ws, "shard-single"))
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.CacheBudget = cfg.QueryBudget
+	opt.Model = cfg.Model
+	opt.Layout = crawl.Order
+	single, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer single.Close()
+	eng, err := query.New(single, repo.SchemeSNode)
+	if err != nil {
+		return nil, err
+	}
+	paceStores(single, pace)
+	base, stopSingle, err := shardServe(serve.Config{
+		Engine:        eng,
+		MaxConcurrent: loadMaxConcurrent,
+		MaxQueue:      loadMaxQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	workers := shardWorkersPerSlot * loadMaxConcurrent
+	row := shardClosedLoop(base, client, cfg.Seed, cfg.QuerySize, workers, dur)
+	stopSingle()
+	paceStores(single, 0)
+	row.Tier, row.K, row.Speedup = "single", 0, 1.0
+	rep.Rows = append(rep.Rows, row)
+	baseQPS := row.QPS
+
+	// Router tiers: K shard replicas behind the scatter-gather front.
+	for _, k := range shardKs() {
+		root := filepath.Join(ws, fmt.Sprintf("shard-k%d", k))
+		m, err := shard.Build(crawl, k, root, opt.SNode)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard build K=%d: %w", k, err)
+		}
+		var intra, total int64
+		for _, e := range m.Shards {
+			intra += e.IntraEdges
+			total += e.IntraEdges + e.BoundaryFwdEdges
+		}
+		var stops []func()
+		var replicas [][]string
+		for s := 0; s < k; s++ {
+			sh, err := shard.OpenServing(root, s, cfg.QueryBudget, cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			defer sh.Close()
+			se, err := query.New(sh.Repo, repo.SchemeSNode)
+			if err != nil {
+				return nil, err
+			}
+			se.SetOwner(sh.Owns)
+			nav, err := query.New(sh.NavRepo, repo.SchemeSNode)
+			if err != nil {
+				return nil, err
+			}
+			paceStores(sh.Repo, pace)
+			u, stop, err := shardServe(serve.Config{
+				Engine:        se,
+				NavEngine:     nav,
+				Shard:         &serve.ShardInfo{ID: s, Count: k, Version: m.Version},
+				MaxConcurrent: loadMaxConcurrent,
+				MaxQueue:      loadMaxQueue,
+			})
+			if err != nil {
+				return nil, err
+			}
+			stops = append(stops, stop)
+			replicas = append(replicas, []string{u})
+		}
+		bs, err := shard.LoadFwdBoundaries(root, m)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := router.New(router.Config{
+			Manifest:      m,
+			Boundaries:    bs,
+			Replicas:      replicas,
+			Client:        client,
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: rt.Handler()}
+		go hs.Serve(ln)
+
+		// The tier has K x loadMaxConcurrent slots; scale the closed loop
+		// with it so offered concurrency is not the bottleneck.
+		workers := shardWorkersPerSlot * loadMaxConcurrent * k
+		row := shardClosedLoop("http://"+ln.Addr().String(), client, cfg.Seed, cfg.QuerySize, workers, dur)
+		hs.Close()
+		rt.Close()
+		for _, stop := range stops {
+			stop()
+		}
+		row.Tier, row.K = "router", k
+		row.IntraEdgePct = 100 * float64(intra) / float64(total)
+		if baseQPS > 0 {
+			row.Speedup = row.QPS / baseQPS
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// RenderShard prints the scaling table.
+func RenderShard(cfg Config, rep *ShardReport) {
+	w := cfg.out()
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	fmt.Fprintf(w, "Distributed serving: QPS vs shard count (%d pages, %d KB buffer/replica, paced disk x%.2f, %.0f%% nav)\n",
+		cfg.QuerySize, cfg.QueryBudget>>10, pace, 100*loadNavShare)
+	fmt.Fprintf(w, "%8s %3s %8s %9s %6s %5s %9s %8s | %9s %9s %11s %11s\n",
+		"tier", "K", "workers", "ok", "shed", "err", "qps", "speedup",
+		"nav p50", "nav p99", "mining p50", "mining p99")
+	for _, r := range rep.Rows {
+		k := "-"
+		if r.K > 0 {
+			k = fmt.Sprintf("%d", r.K)
+		}
+		fmt.Fprintf(w, "%8s %3s %8d %9d %6d %5d %9.1f %7.2fx | %8.1fms %8.1fms %10.1fms %10.1fms\n",
+			r.Tier, k, r.Workers, r.OK, r.Shed, r.Errors, r.QPS, r.Speedup,
+			r.NavP50MS, r.NavP99MS, r.MiningP50MS, r.MiningP99MS)
+	}
+	fmt.Fprintln(w, "(nav routes to one shard and scales with K; mining scatters to all shards and merges at the router)")
+	fmt.Fprintln(w)
+}
+
+// ShardJSON writes the report (plus scale parameters and run
+// provenance) as the committed benchmark artifact.
+func ShardJSON(path string, cfg Config, rep *ShardReport) error {
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	doc := struct {
+		Experiment  string     `json:"experiment"`
+		Provenance  Provenance `json:"provenance"`
+		Pages       int        `json:"pages"`
+		BudgetBytes int64      `json:"budget_bytes"`
+		Pace        float64    `json:"pace"`
+		NavShare    float64    `json:"nav_share"`
+		Rows        []ShardRow `json:"rows"`
+	}{
+		Experiment:  "shard",
+		Provenance:  NewProvenance(),
+		Pages:       cfg.QuerySize,
+		BudgetBytes: cfg.QueryBudget,
+		Pace:        pace,
+		NavShare:    loadNavShare,
+		Rows:        rep.Rows,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardSmoke gates the distributed-serving experiment: single-node
+// baseline plus router tiers at every K, real HTTP end to end, at a
+// tiny scale and short windows.
+func TestShardSmoke(t *testing.T) {
+	cfg := tiny()
+	cfg.QuerySize = 4000
+	cfg.QueryBudget = 128 << 10
+	cfg.Pace = 0.25 // keep the paced smoke run short
+	cfg.LoadDuration = 300 * time.Millisecond
+	rep, err := Shard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + len(shardKs())
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	if rep.Rows[0].Tier != "single" {
+		t.Fatalf("first row tier %q, want single", rep.Rows[0].Tier)
+	}
+	for i, r := range rep.Rows {
+		if r.OK <= 0 {
+			t.Fatalf("row %s/K=%d served nothing", r.Tier, r.K)
+		}
+		if r.Errors > 0 {
+			t.Fatalf("row %s/K=%d: %d transport/5xx errors", r.Tier, r.K, r.Errors)
+		}
+		if r.QPS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if i > 0 {
+			if r.Tier != "router" || r.K != shardKs()[i-1] {
+				t.Fatalf("row %d is %s/K=%d, want router/K=%d", i, r.Tier, r.K, shardKs()[i-1])
+			}
+			if r.IntraEdgePct <= 0 || r.IntraEdgePct > 100 {
+				t.Fatalf("row K=%d: intra-edge share %.1f%%", r.K, r.IntraEdgePct)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderShard(cfg, rep)
+	if !strings.Contains(sb.String(), "speedup") || !strings.Contains(sb.String(), "router") {
+		t.Fatalf("render output malformed:\n%s", sb.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "shard.json")
+	if err := ShardJSON(path, cfg, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Rows       []ShardRow
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Experiment != "shard" || len(doc.Rows) != wantRows {
+		t.Fatalf("artifact experiment %q with %d rows", doc.Experiment, len(doc.Rows))
+	}
+}

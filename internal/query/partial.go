@@ -1,0 +1,484 @@
+// Partial query execution for the domain-sharded serving tier.
+//
+// A sharded corpus (internal/shard) replicates the small global state
+// — page metadata, text index, global PageRank, domain index — to
+// every shard, and partitions the expensive state, the link structure:
+// a shard's S-Node stores hold the edges whose SOURCE page it owns
+// (intra-shard edges in the compressed representation, cross-shard
+// edges merged back in from the boundary store). Under that layout a
+// shard can answer any Table 3 query EXACTLY for the slice of the
+// page set it owns: source-page sets resolve identically everywhere
+// (global indexes), and navigation from an owned page sees the page's
+// complete adjacency in both directions.
+//
+// RunPartial therefore runs the same six algorithms as Run with two
+// changes: source page sets are restricted to owned pages, and no
+// final truncation/aggregation is applied — rows come back untruncated
+// and group-tagged so the router can merge K shards' partials into
+// exactly the rows a single-node Run would produce (MergePartials).
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"snode/internal/pagerank"
+	"snode/internal/store"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+// SetOwner restricts partial-query source page sets to the pages owns
+// accepts (the shard's slice of the corpus). nil means the engine owns
+// every page, in which case MergePartials over this engine's single
+// partial reproduces Run exactly. Call before serving; Shared copies
+// inherit the predicate.
+func (e *Engine) SetOwner(owns func(webgraph.PageID) bool) { e.owned = owns }
+
+// owns reports whether partial queries treat p as local.
+func (e *Engine) owns(p webgraph.PageID) bool { return e.owned == nil || e.owned(p) }
+
+// PartialRow is one untruncated, mergeable output row of a partial
+// query execution. Group disambiguates rows that merge independently
+// (Q4: the university; Q6: which source set cited the target).
+type PartialRow struct {
+	Group string  `json:"group,omitempty"`
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// PartialResult is one shard's contribution to a scattered query.
+type PartialResult struct {
+	Query ID
+	Rows  []PartialRow
+	Nav   NavStats
+}
+
+// RunPartial executes one query restricted to the engine's owned
+// pages, returning mergeable partial rows. The context propagates
+// exactly as in Run.
+func (e *Engine) RunPartial(ctx context.Context, q ID) (*PartialResult, error) {
+	switch q {
+	case Q3, Q4, Q5:
+		if e.rev() == nil {
+			return nil, fmt.Errorf("query: Q%d needs in-neighborhood navigation; build the repository with Transpose", q)
+		}
+	}
+	switch q {
+	case Q1:
+		return e.pq1(ctx)
+	case Q2:
+		return e.pq2(ctx)
+	case Q3:
+		return e.pq3(ctx)
+	case Q4:
+		return e.pq4(ctx)
+	case Q5:
+		return e.pq5(ctx)
+	case Q6:
+		return e.pq6(ctx)
+	}
+	return nil, fmt.Errorf("query: unknown query %d", q)
+}
+
+// pq1 — Q1 restricted to owned Stanford sources. Rows: partial domain
+// weights; merge by summing.
+func (e *Engine) pq1(ctx context.Context) (*PartialResult, error) {
+	s := e.phraseInDomain(synth.PhraseMobileNetworking, "stanford.edu")
+	eduSet := e.R.EduDomains("stanford.edu")
+	filter := &store.Filter{Domains: eduSet}
+	weights := map[string]float64{}
+	var order []string
+	var buf []webgraph.PageID
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		for _, p := range s {
+			if !e.owns(p) {
+				continue
+			}
+			var err error
+			buf, err = e.fwdOut(ctx, p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			seen := map[string]bool{}
+			for _, t := range buf {
+				d := e.R.DomainOf(t)
+				if !seen[d] {
+					seen[d] = true
+					if _, ok := weights[d]; !ok {
+						order = append(order, d)
+					}
+					weights[d] += e.R.PageRank[p]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PartialRow, 0, len(order))
+	for _, d := range order {
+		rows = append(rows, PartialRow{Key: d, Value: weights[d]})
+	}
+	return &PartialResult{Query: Q1, Rows: rows, Nav: nav}, nil
+}
+
+// pq2 — Q2 with both the text count C1 and the link count C2
+// restricted to owned Stanford pages. Rows: per-comic partial counts;
+// merge by summing.
+func (e *Engine) pq2(ctx context.Context) (*PartialResult, error) {
+	comics := synth.Comics()
+	dr, ok := e.domainRange("stanford.edu")
+	if !ok {
+		// Domain ranges are global, so every shard fails identically.
+		return nil, fmt.Errorf("query: stanford.edu not in corpus")
+	}
+	c1 := map[string]int{}
+	siteOf := map[string]string{}
+	sites := map[string]bool{}
+	for _, c := range comics {
+		pages := e.R.Text.PagesWithAtLeast(c.Words, 2)
+		n := 0
+		for _, p := range pages {
+			if p >= dr.Lo && p < dr.Hi && e.owns(p) {
+				n++
+			}
+		}
+		c1[c.Name] = n
+		siteOf[c.Site] = c.Name
+		sites[c.Site] = true
+	}
+	c2 := map[string]int{}
+	filter := &store.Filter{Domains: sites}
+	var buf []webgraph.PageID
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		for p := dr.Lo; p < dr.Hi; p++ {
+			if !e.owns(p) {
+				continue
+			}
+			var err error
+			buf, err = e.fwdOut(ctx, p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				c2[siteOf[e.R.DomainOf(t)]]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PartialRow, 0, len(comics))
+	for _, c := range comics {
+		rows = append(rows, PartialRow{Key: c.Name, Value: float64(c1[c.Name] + c2[c.Name])})
+	}
+	return &PartialResult{Query: Q2, Rows: rows, Nav: nav}, nil
+}
+
+// pq3 — Q3's base set, the slice this shard can expand: the global
+// top-100 S resolves identically on every shard (global text index and
+// PageRank), and each shard contributes {p} ∪ out(p) ∪ cappedIn(p) for
+// the p ∈ S it owns. Rows: one per base-set member, keyed by page ID;
+// merge by distinct-key union.
+func (e *Engine) pq3(ctx context.Context) (*PartialResult, error) {
+	l := e.R.Text.Lookup(synth.PhraseInternetCensorship)
+	s := pagerank.TopK(e.R.PageRank, l, 100)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	members := map[webgraph.PageID]bool{}
+	var buf []webgraph.PageID
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		for _, p := range s {
+			if !e.owns(p) {
+				continue
+			}
+			members[p] = true
+			var err error
+			buf, err = e.fwdOut(ctx, p, nil, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				members[t] = true
+			}
+			buf, err = e.revOut(ctx, p, nil, buf[:0])
+			if err != nil {
+				return err
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			for i, t := range buf {
+				if i >= kleinbergInCap {
+					break
+				}
+				members[t] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]webgraph.PageID, 0, len(members))
+	for p := range members {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rows := make([]PartialRow, 0, len(ids))
+	for _, p := range ids {
+		rows = append(rows, PartialRow{Key: strconv.FormatInt(int64(p), 10), Value: 1})
+	}
+	return &PartialResult{Query: Q3, Rows: rows, Nav: nav}, nil
+}
+
+// pq4 — Q4 restricted to owned candidate pages, untruncated. Rows
+// carry the university as Group; merge sorts and caps per group.
+func (e *Engine) pq4(ctx context.Context) (*PartialResult, error) {
+	var rows []PartialRow
+	var navTotal NavStats
+	var buf []webgraph.PageID
+	for _, uni := range synth.Universities() {
+		uni := uni
+		s := e.phraseInDomain(synth.PhraseQuantumCryptography, uni)
+		pop := map[webgraph.PageID]int{}
+		var order []webgraph.PageID
+		nav, err := e.nav(ctx, func(ctx context.Context) error {
+			for _, p := range s {
+				if !e.owns(p) {
+					continue
+				}
+				var err error
+				buf, err = e.revOut(ctx, p, nil, buf[:0])
+				if err != nil {
+					return err
+				}
+				n := 0
+				for _, src := range buf {
+					if e.R.DomainOf(src) != uni {
+						n++
+					}
+				}
+				pop[p] = n
+				order = append(order, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		navTotal = addNav(navTotal, nav)
+		for _, p := range order {
+			rows = append(rows, PartialRow{
+				Group: uni,
+				Key:   uni + " " + e.R.Corpus.Pages[p].URL,
+				Value: float64(pop[p]),
+			})
+		}
+	}
+	return &PartialResult{Query: Q4, Rows: rows, Nav: navTotal}, nil
+}
+
+// pq5 — Q5 restricted to owned set members, untruncated; merge sorts
+// and caps globally.
+func (e *Engine) pq5(ctx context.Context) (*PartialResult, error) {
+	s := e.R.Text.Lookup(synth.PhraseComputerMusic)
+	inSet := map[webgraph.PageID]bool{}
+	for _, p := range s {
+		inSet[p] = true
+	}
+	filter := &store.Filter{Pages: inSet}
+	counts := map[webgraph.PageID]int{}
+	var order []webgraph.PageID
+	var buf []webgraph.PageID
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		for _, p := range s {
+			if !e.owns(p) {
+				continue
+			}
+			var err error
+			buf, err = e.revOut(ctx, p, filter, buf[:0])
+			if err != nil {
+				return err
+			}
+			counts[p] = len(buf)
+			order = append(order, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []PartialRow
+	for _, p := range order {
+		if strings.HasSuffix(e.R.DomainOf(p), ".edu") {
+			rows = append(rows, PartialRow{Key: e.R.Corpus.Pages[p].URL, Value: float64(counts[p])})
+		}
+	}
+	return &PartialResult{Query: Q5, Rows: rows, Nav: nav}, nil
+}
+
+// pq6 — Q6 with the two source sets restricted to owned pages. Rows
+// carry Group "a" (Stanford citations) or "b" (Berkeley citations);
+// the merge joins the two sides and keeps targets cited by both.
+func (e *Engine) pq6(ctx context.Context) (*PartialResult, error) {
+	s1 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "stanford.edu")
+	s2 := e.phraseInDomain(synth.PhraseOpticalInterferometry, "berkeley.edu")
+	counts := map[webgraph.PageID]int{}
+	var order []webgraph.PageID
+	var buf []webgraph.PageID
+	collect := func(ctx context.Context, src []webgraph.PageID) error {
+		for _, p := range src {
+			if !e.owns(p) {
+				continue
+			}
+			var err error
+			buf, err = e.fwdOut(ctx, p, nil, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, t := range buf {
+				d := e.R.DomainOf(t)
+				if d == "stanford.edu" || d == "berkeley.edu" {
+					continue
+				}
+				if _, ok := counts[t]; !ok {
+					order = append(order, t)
+				}
+				counts[t]++
+			}
+		}
+		return nil
+	}
+	var rows []PartialRow
+	emit := func(group string) {
+		for _, t := range order {
+			rows = append(rows, PartialRow{Group: group, Key: e.R.Corpus.Pages[t].URL, Value: float64(counts[t])})
+		}
+		counts = map[webgraph.PageID]int{}
+		order = order[:0]
+	}
+	nav, err := e.nav(ctx, func(ctx context.Context) error {
+		if err := collect(ctx, s1); err != nil {
+			return err
+		}
+		emit("a")
+		if err := collect(ctx, s2); err != nil {
+			return err
+		}
+		emit("b")
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PartialResult{Query: Q6, Rows: rows, Nav: nav}, nil
+}
+
+// MergePartials folds K shards' partial rows into exactly the rows a
+// single-node Run of q would produce, applying the query's merge
+// class:
+//
+//	Q1, Q2 — sum by key (partial weights/counts), rank by value
+//	Q3     — distinct-key union, reported as one base-set-size row
+//	Q4     — concatenate, rank and cap 10 per university group
+//	Q5     — concatenate, rank and cap 10
+//	Q6     — join Group "a"/"b" by key, keep both-cited, rank, cap 25
+//
+// Partials are folded in slice order and ties rank by key, so the
+// merge is deterministic for a fixed shard ordering.
+func MergePartials(q ID, parts [][]PartialRow) []Row {
+	switch q {
+	case Q1, Q2:
+		return mergeSum(parts, 0)
+	case Q3:
+		n := 0
+		seen := map[string]bool{}
+		for _, part := range parts {
+			for _, r := range part {
+				if !seen[r.Key] {
+					seen[r.Key] = true
+					n++
+				}
+			}
+		}
+		return []Row{{Key: "base-set-size", Value: float64(n)}}
+	case Q4:
+		var rows []Row
+		for _, uni := range synth.Universities() {
+			var g []Row
+			for _, part := range parts {
+				for _, r := range part {
+					if r.Group == uni {
+						g = append(g, Row{Key: r.Key, Value: r.Value})
+					}
+				}
+			}
+			sortRows(g)
+			if len(g) > 10 {
+				g = g[:10]
+			}
+			rows = append(rows, g...)
+		}
+		return rows
+	case Q5:
+		rows := mergeSum(parts, 0)
+		if len(rows) > 10 {
+			rows = rows[:10]
+		}
+		return rows
+	case Q6:
+		a := map[string]float64{}
+		b := map[string]float64{}
+		var order []string
+		for _, part := range parts {
+			for _, r := range part {
+				m := a
+				if r.Group == "b" {
+					m = b
+				}
+				if _, inA := a[r.Key]; !inA {
+					if _, inB := b[r.Key]; !inB {
+						order = append(order, r.Key)
+					}
+				}
+				m[r.Key] += r.Value
+			}
+		}
+		var rows []Row
+		for _, k := range order {
+			if a[k] >= 1 && b[k] >= 1 {
+				rows = append(rows, Row{Key: k, Value: a[k] + b[k]})
+			}
+		}
+		sortRows(rows)
+		if len(rows) > 25 {
+			rows = rows[:25]
+		}
+		return rows
+	}
+	return nil
+}
+
+// mergeSum sums partial rows by key and ranks the result.
+func mergeSum(parts [][]PartialRow, _ int) []Row {
+	sums := map[string]float64{}
+	var order []string
+	for _, part := range parts {
+		for _, r := range part {
+			if _, ok := sums[r.Key]; !ok {
+				order = append(order, r.Key)
+			}
+			sums[r.Key] += r.Value
+		}
+	}
+	rows := make([]Row, 0, len(order))
+	for _, k := range order {
+		rows = append(rows, Row{Key: k, Value: sums[k]})
+	}
+	sortRows(rows)
+	return rows
+}

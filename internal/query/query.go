@@ -114,6 +114,11 @@ type Engine struct {
 	// request-scoped traces; Shared copies record into the same tracer.
 	tracer *trace.Tracer
 
+	// owned, wired by SetOwner (nil = owns everything), restricts
+	// partial-query source page sets to this shard's pages; see
+	// partial.go. Shared copies inherit it (struct copy).
+	owned func(webgraph.PageID) bool
+
 	// fwdCtx/revCtx cache the one-time type assertion to the stores'
 	// optional context-aware read path (store.ContextLinkStore; nil when
 	// the scheme — any of the flat baselines — does not provide it).

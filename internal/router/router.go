@@ -1,0 +1,519 @@
+// Package router is the scatter-gather front of the distributed
+// serving tier: one process that owns a shard manifest, fans /out and
+// /query out to the shard replicas over HTTP, and merges the partials
+// into responses row-identical to a single-node server's.
+//
+// Per query class:
+//
+//   - /out (navigation) routes to the ONE shard owning the page — the
+//     common case, thanks to the domain partition — and appends the
+//     page's cross-shard targets from the forward boundary store the
+//     router keeps resident, so the client sees the full adjacency.
+//   - /query (mining) scatters ?partial=1 to EVERY shard, then merges
+//     the untruncated group-tagged partial rows with the query's merge
+//     class (query.MergePartials).
+//
+// Replica health is tracked per URL: EjectAfter consecutive failures
+// stop a replica from being picked, a background prober re-admits it
+// when /healthz answers again, and any successful response heals it
+// immediately. A failed leg fails over to the shard's next replica
+// within the same request; only when every replica of a shard is down
+// does the request fail (503). 429s from shards are not failures —
+// they aggregate into one 429 whose Retry-After is the maximum hint
+// any shard returned, so the client backs off enough for the slowest
+// member.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"snode/internal/metrics"
+	"snode/internal/query"
+	"snode/internal/serve"
+	"snode/internal/shard"
+	"snode/internal/trace"
+	"snode/internal/webgraph"
+)
+
+// Config sizes a Router.
+type Config struct {
+	// Manifest describes the partition the replicas serve. Required.
+	Manifest *shard.Manifest
+	// Boundaries are the per-shard FORWARD boundary stores (cross-shard
+	// out-edges of pages each shard owns), indexed by shard. Required,
+	// len == Manifest.NumShards. shard.LoadFwdBoundaries loads them.
+	Boundaries []*shard.Boundary
+	// Replicas lists each shard's replica base URLs
+	// ("http://host:port"), indexed by shard. Every shard needs at
+	// least one.
+	Replicas [][]string
+	// Client issues the fan-out requests (default: a plain
+	// http.Client; per-leg deadlines come from ShardTimeout/ctx).
+	Client *http.Client
+	// ShardTimeout bounds each leg of a fan-out (default 5s); the
+	// request's own deadline still applies on top.
+	ShardTimeout time.Duration
+	// EjectAfter is the consecutive-failure count that ejects a replica
+	// from selection (default 3).
+	EjectAfter int
+	// ProbeInterval is the ejected-replica health-probe period
+	// (default 500ms; <0 disables the prober — tests drive Probe
+	// directly).
+	ProbeInterval time.Duration
+	// Registry, when set, receives the router_* counters.
+	Registry *metrics.Registry
+	// Tracer, when set, samples routed requests: the fan-out and merge
+	// become router.fanout / router.merge spans.
+	Tracer *trace.Tracer
+}
+
+// replica is one backend URL plus its health state.
+type replica struct {
+	url     string
+	fails   atomic.Int32
+	healthy atomic.Bool
+}
+
+// shardSet is one shard's replicas with a round-robin cursor.
+type shardSet struct {
+	replicas []*replica
+	next     atomic.Uint32
+}
+
+// candidates returns the replicas to try, healthy first (starting at
+// the round-robin cursor), ejected ones last — a fully-ejected shard
+// is still attempted, since in-band success heals immediately.
+func (s *shardSet) candidates() []*replica {
+	n := len(s.replicas)
+	start := int(s.next.Add(1)-1) % n
+	out := make([]*replica, 0, n)
+	var down []*replica
+	for i := 0; i < n; i++ {
+		r := s.replicas[(start+i)%n]
+		if r.healthy.Load() {
+			out = append(out, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	return append(out, down...)
+}
+
+// Router fans requests out to shard replicas. Safe for concurrent use.
+type Router struct {
+	manifest   *shard.Manifest
+	boundaries []*shard.Boundary
+	shards     []*shardSet
+	client     *http.Client
+	timeout    time.Duration
+	ejectAfter int
+	tracer     *trace.Tracer
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	navRequests, miningRequests *metrics.Counter
+	failovers, fanoutErrors     *metrics.Counter
+	shedTotal                   *metrics.Counter
+	ejections, readmissions     *metrics.Counter
+	versionSkew                 *metrics.Counter
+}
+
+// New builds a router and, unless ProbeInterval < 0, starts its
+// health prober. Call Close to stop it.
+func New(cfg Config) (*Router, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("router: Config.Manifest required")
+	}
+	k := cfg.Manifest.NumShards
+	if len(cfg.Boundaries) != k {
+		return nil, fmt.Errorf("router: %d boundary stores for %d shards", len(cfg.Boundaries), k)
+	}
+	if len(cfg.Replicas) != k {
+		return nil, fmt.Errorf("router: replica lists for %d shards, want %d", len(cfg.Replicas), k)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 5 * time.Second
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	r := &Router{
+		manifest:   cfg.Manifest,
+		boundaries: cfg.Boundaries,
+		client:     cfg.Client,
+		timeout:    cfg.ShardTimeout,
+		ejectAfter: cfg.EjectAfter,
+		tracer:     cfg.Tracer,
+		stopProbe:  make(chan struct{}),
+	}
+	for s, urls := range cfg.Replicas {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", s)
+		}
+		set := &shardSet{}
+		for _, u := range urls {
+			rep := &replica{url: u}
+			rep.healthy.Store(true)
+			set.replicas = append(set.replicas, rep)
+		}
+		r.shards = append(r.shards, set)
+	}
+	if reg := cfg.Registry; reg != nil {
+		r.navRequests = reg.Counter("router_nav_requests")
+		r.miningRequests = reg.Counter("router_mining_requests")
+		r.failovers = reg.Counter("router_failovers")
+		r.fanoutErrors = reg.Counter("router_fanout_errors")
+		r.shedTotal = reg.Counter("router_shed")
+		r.ejections = reg.Counter("router_replica_ejected")
+		r.readmissions = reg.Counter("router_replica_readmitted")
+		r.versionSkew = reg.Counter("router_version_skew")
+	}
+	if cfg.ProbeInterval > 0 {
+		r.probeWG.Add(1)
+		go r.probeLoop(cfg.ProbeInterval)
+	}
+	return r, nil
+}
+
+// Close stops the health prober.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.stopProbe) })
+	r.probeWG.Wait()
+}
+
+// Register mounts the routed endpoints on mux.
+func (r *Router) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/out", r.handleOut)
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+}
+
+// Handler returns a standalone handler serving the routed endpoints.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	r.Register(mux)
+	return mux
+}
+
+// inc bumps a counter that may be nil (no registry).
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// markFailed records a replica failure and ejects it at the threshold.
+func (r *Router) markFailed(rep *replica) {
+	if int(rep.fails.Add(1)) >= r.ejectAfter && rep.healthy.CompareAndSwap(true, false) {
+		inc(r.ejections)
+	}
+}
+
+// markOK heals a replica on any successful in-band response.
+func (r *Router) markOK(rep *replica) {
+	rep.fails.Store(0)
+	if rep.healthy.CompareAndSwap(false, true) {
+		inc(r.readmissions)
+	}
+}
+
+// probeLoop periodically re-probes ejected replicas.
+func (r *Router) probeLoop(every time.Duration) {
+	defer r.probeWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopProbe:
+			return
+		case <-t.C:
+			r.Probe()
+		}
+	}
+}
+
+// Probe health-checks every ejected replica once and re-admits the
+// ones whose /healthz answers 200. Exported so tests (and operators)
+// can force a probe round instead of waiting out the interval.
+func (r *Router) Probe() {
+	for _, set := range r.shards {
+		for _, rep := range set.replicas {
+			if rep.healthy.Load() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := r.client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				rep.fails.Store(0)
+				if rep.healthy.CompareAndSwap(false, true) {
+					inc(r.readmissions)
+				}
+			}
+		}
+	}
+}
+
+// shedInfo is a 429 relayed from a shard.
+type shedInfo struct {
+	retryAfter time.Duration
+	body       []byte
+}
+
+// legResult is one shard leg's outcome: exactly one of body, shed, or
+// err is meaningful.
+type legResult struct {
+	body []byte
+	shed *shedInfo
+	err  error
+}
+
+// fetch runs one leg against shard s with replica failover: network
+// errors, 5xx, and version skew try the next replica (recording the
+// failure); a 2xx or 429 is a live replica's answer and heals it.
+func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
+	var lastErr error
+	for i, rep := range r.shards[s].candidates() {
+		if i > 0 {
+			inc(r.failovers)
+		}
+		legCtx, cancel := context.WithTimeout(ctx, r.timeout)
+		req, err := http.NewRequestWithContext(legCtx, http.MethodGet, rep.url+pathQuery, nil)
+		if err != nil {
+			cancel()
+			return legResult{err: err}
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			cancel()
+			r.markFailed(rep)
+			lastErr = err
+			// The router's own request is dead: stop failing over.
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if readErr != nil {
+			r.markFailed(rep)
+			lastErr = readErr
+			continue
+		}
+		if v := resp.Header.Get("X-SNode-Shard-Version"); v != "" && v != r.manifest.Version {
+			// Build/serve skew: this replica serves a different
+			// partition; merging its rows would be silently wrong.
+			inc(r.versionSkew)
+			r.markFailed(rep)
+			lastErr = fmt.Errorf("shard %d replica %s: manifest version %q, router has %q", s, rep.url, v, r.manifest.Version)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			r.markOK(rep)
+			ra := time.Second
+			if raw := resp.Header.Get("Retry-After"); raw != "" {
+				if secs, err := strconv.ParseInt(raw, 10, 64); err == nil {
+					ra = time.Duration(secs) * time.Second
+				}
+			}
+			return legResult{shed: &shedInfo{retryAfter: ra, body: body}}
+		case resp.StatusCode >= 500:
+			r.markFailed(rep)
+			lastErr = fmt.Errorf("shard %d replica %s: status %d", s, rep.url, resp.StatusCode)
+			continue
+		case resp.StatusCode != http.StatusOK:
+			// 4xx other than 429: the request itself is bad; failing over
+			// would return the same answer.
+			r.markOK(rep)
+			return legResult{err: fmt.Errorf("shard %d: status %d: %s", s, resp.StatusCode, body)}
+		}
+		r.markOK(rep)
+		return legResult{body: body}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard %d: no replicas", s)
+	}
+	inc(r.fanoutErrors)
+	return legResult{err: fmt.Errorf("shard %d: all replicas failed: %w", s, lastErr)}
+}
+
+// writeShed relays an aggregated 429.
+func (r *Router) writeShed(w http.ResponseWriter, sh *shedInfo) {
+	inc(r.shedTotal)
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(sh.retryAfter.Seconds())), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	w.Write(sh.body)
+}
+
+// passthroughQuery forwards the client's deadline to the shard legs.
+func passthroughQuery(req *http.Request, base string) string {
+	if d := req.URL.Query().Get("deadline_ms"); d != "" {
+		return base + "&deadline_ms=" + d
+	}
+	return base
+}
+
+// handleOut routes the navigation class: one shard leg plus the
+// router-resident boundary overlay.
+func (r *Router) handleOut(w http.ResponseWriter, req *http.Request) {
+	inc(r.navRequests)
+	ctx := req.Context()
+	var tr *trace.Trace
+	if r.tracer != nil {
+		ctx, tr = r.tracer.StartRequest(ctx, "router.nav")
+		defer func() {
+			if tr != nil {
+				r.tracer.Finish(tr)
+			}
+		}()
+	}
+	raw := req.URL.Query().Get("page")
+	page, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || page < 0 {
+		http.Error(w, fmt.Sprintf("bad page %q", raw), http.StatusBadRequest)
+		return
+	}
+	s := r.manifest.ShardOf(webgraph.PageID(page))
+	if s < 0 {
+		http.Error(w, fmt.Sprintf("page %d not in corpus (%d pages)", page, r.manifest.NumPages), http.StatusNotFound)
+		return
+	}
+	fanCtx, sp := trace.Start(ctx, "router.fanout")
+	leg := r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/out?page=%d", page)))
+	sp.End()
+	switch {
+	case leg.shed != nil:
+		r.writeShed(w, leg.shed)
+		return
+	case leg.err != nil:
+		http.Error(w, leg.err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var out serve.OutResponse
+	if err := json.Unmarshal(leg.body, &out); err != nil {
+		http.Error(w, fmt.Sprintf("shard %d: bad /out body: %v", s, err), http.StatusBadGateway)
+		return
+	}
+	_, msp := trace.Start(ctx, "router.merge")
+	out.Neighbors = append(out.Neighbors, r.boundaries[s].Out(webgraph.PageID(page))...)
+	sort.Slice(out.Neighbors, func(i, j int) bool { return out.Neighbors[i] < out.Neighbors[j] })
+	msp.End()
+	if out.Neighbors == nil {
+		out.Neighbors = []webgraph.PageID{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleQuery routes the mining class: scatter ?partial=1 to every
+// shard, gather, merge.
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	inc(r.miningRequests)
+	ctx := req.Context()
+	var tr *trace.Trace
+	if r.tracer != nil {
+		ctx, tr = r.tracer.StartRequest(ctx, "router.mining")
+		defer func() {
+			if tr != nil {
+				r.tracer.Finish(tr)
+			}
+		}()
+	}
+	raw := req.URL.Query().Get("q")
+	qn, err := strconv.Atoi(raw)
+	if err != nil || qn < int(query.Q1) || qn > int(query.Q6) {
+		http.Error(w, fmt.Sprintf("bad q %q (want 1..6)", raw), http.StatusBadRequest)
+		return
+	}
+	k := r.manifest.NumShards
+	legs := make([]legResult, k)
+	fanCtx, sp := trace.Start(ctx, "router.fanout")
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			legs[s] = r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/query?q=%d&partial=1", qn)))
+		}(s)
+	}
+	wg.Wait()
+	sp.End()
+
+	// One shed leg sheds the whole request: a partial merge would be
+	// silently wrong. Retry-After aggregates as the max, so the client
+	// backs off enough for the slowest shard.
+	var shed *shedInfo
+	for _, leg := range legs {
+		if leg.shed != nil && (shed == nil || leg.shed.retryAfter > shed.retryAfter) {
+			shed = leg.shed
+		}
+	}
+	if shed != nil {
+		r.writeShed(w, shed)
+		return
+	}
+	for s, leg := range legs {
+		if leg.err != nil {
+			http.Error(w, fmt.Sprintf("shard %d unavailable: %v", s, leg.err), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	parts := make([][]query.PartialRow, k)
+	navMS := 0.0
+	for s, leg := range legs {
+		var pr serve.PartialQueryResponse
+		if err := json.Unmarshal(leg.body, &pr); err != nil {
+			http.Error(w, fmt.Sprintf("shard %d: bad partial body: %v", s, err), http.StatusBadGateway)
+			return
+		}
+		parts[s] = pr.Partials
+		// The scatter runs the legs concurrently, so the merged query's
+		// navigation cost is the slowest leg, not the sum.
+		if pr.NavMS > navMS {
+			navMS = pr.NavMS
+		}
+	}
+	_, msp := trace.Start(ctx, "router.merge")
+	rows := query.MergePartials(query.ID(qn), parts)
+	msp.End()
+	if rows == nil {
+		rows = []query.Row{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(serve.QueryResponse{Query: qn, Rows: rows, NavMS: navMS})
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -42,11 +43,36 @@ const (
 	ClassMining = "mining"
 )
 
+// ShardInfo marks a server as one shard of a domain-partitioned
+// corpus behind a scatter-gather router (cmd/snrouter).
+type ShardInfo struct {
+	// ID is this shard's index in [0, Count).
+	ID int
+	// Count is the total shard count K.
+	Count int
+	// Version is the shard-manifest version the artifacts were built
+	// under; the router rejects replicas whose version does not match
+	// its manifest (build/serve version skew).
+	Version string
+}
+
 // Config sizes a Server.
 type Config struct {
 	// Engine executes the queries. Required. The server derives a
 	// Shared copy, so one engine may also be used elsewhere.
 	Engine *query.Engine
+	// NavEngine, when set, serves /out instead of Engine. Shard mode
+	// wires the intra-shard base store here — /out then returns only
+	// the edges this shard owns, and the router resolves cross-shard
+	// edges through the boundary store — while Engine keeps the
+	// boundary-merged stores so mining partials are exact.
+	NavEngine *query.Engine
+	// Shard, when set, marks this server as one shard of a partitioned
+	// corpus: every query response carries X-SNode-Shard /
+	// X-SNode-Shard-Version headers, and /query accepts ?partial=1,
+	// answering with untruncated group-tagged partial rows for the
+	// router's per-query-class merge instead of the final rows.
+	Shard *ShardInfo
 	// MaxConcurrent bounds requests executing simultaneously
 	// (admission slots; <= 0 selects GOMAXPROCS).
 	MaxConcurrent int
@@ -67,9 +93,11 @@ type Config struct {
 // Server handles the query endpoints. Safe for concurrent use.
 type Server struct {
 	eng             *query.Engine
+	navEng          *query.Engine // /out engine (== eng unless Config.NavEngine)
 	ctrl            *admission.Controller
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
+	shard           *ShardInfo
 
 	navHist    *metrics.Histogram // end-to-end admitted-request latency
 	miningHist *metrics.Histogram
@@ -98,6 +126,11 @@ func New(cfg Config) (*Server, error) {
 		ctrl:            ctrl,
 		defaultDeadline: cfg.DefaultDeadline,
 		maxDeadline:     cfg.MaxDeadline,
+		shard:           cfg.Shard,
+	}
+	s.navEng = s.eng
+	if cfg.NavEngine != nil {
+		s.navEng = cfg.NavEngine.Shared()
 	}
 	if cfg.Registry != nil {
 		ctrl.RegisterMetrics(cfg.Registry, "admission")
@@ -105,6 +138,16 @@ func New(cfg Config) (*Server, error) {
 		s.miningHist = cfg.Registry.Histogram("serve_latency_mining", nil)
 	}
 	return s, nil
+}
+
+// setShardHeaders stamps shard identity on a response so the router
+// can verify it is talking to the replica set its manifest describes.
+func (s *Server) setShardHeaders(w http.ResponseWriter) {
+	if s.shard == nil {
+		return
+	}
+	w.Header().Set("X-SNode-Shard", fmt.Sprintf("%d/%d", s.shard.ID, s.shard.Count))
+	w.Header().Set("X-SNode-Shard-Version", s.shard.Version)
 }
 
 // Admission exposes the controller (stats for the load harness and
@@ -199,12 +242,18 @@ type OutResponse struct {
 	Neighbors []webgraph.PageID `json:"neighbors"`
 }
 
-// handleOut serves the navigation class: one page's out-adjacency.
+// handleOut serves the navigation class: one page's out-adjacency, in
+// canonical ascending page-ID order (the order is part of the contract
+// so the router's boundary merge reproduces a single-node response
+// row-identically).
 func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.setShardHeaders(w)
 	raw := r.URL.Query().Get("page")
 	page, err := strconv.ParseInt(raw, 10, 32)
-	if err != nil {
+	if err != nil || page < 0 {
+		// page < 0 parses fine but is never a valid PageID; letting it
+		// through used to hand a negative index to the engine.
 		http.Error(w, fmt.Sprintf("bad page %q", raw), http.StatusBadRequest)
 		return
 	}
@@ -222,7 +271,14 @@ func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
 	}
 	wait := time.Since(acqStart)
 	defer release()
-	neighbors, tr, err := s.eng.Neighbors(ctx, webgraph.PageID(page))
+	if s.navHist != nil {
+		// Every admitted request observes its end-to-end latency, not
+		// just the ones that complete: a request shed mid-query or
+		// failing in the engine occupied a slot for exactly this long,
+		// and dropping those samples biases the reported p99 at the knee.
+		defer func() { s.navHist.ObserveDuration(time.Since(start)) }()
+	}
+	neighbors, tr, err := s.navEng.Neighbors(ctx, webgraph.PageID(page))
 	if tr != nil {
 		// The trace starts inside the engine, after the admission wait
 		// has already elapsed; attribute it on the root after the fact
@@ -240,11 +296,9 @@ func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
 	if neighbors == nil {
 		neighbors = []webgraph.PageID{}
 	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(OutResponse{Page: webgraph.PageID(page), Neighbors: neighbors})
-	if s.navHist != nil {
-		s.navHist.ObserveDuration(time.Since(start))
-	}
 }
 
 // QueryResponse is the /query body.
@@ -254,15 +308,28 @@ type QueryResponse struct {
 	NavMS float64     `json:"nav_ms"`
 }
 
-// handleQuery serves the mining class: one Table 3 analysis.
+// PartialQueryResponse is the /query?partial=1 body a shard returns
+// for the router's merge: untruncated, group-tagged rows.
+type PartialQueryResponse struct {
+	Query    int                `json:"query"`
+	Shard    int                `json:"shard"`
+	Partials []query.PartialRow `json:"partials"`
+	NavMS    float64            `json:"nav_ms"`
+}
+
+// handleQuery serves the mining class: one Table 3 analysis. With
+// ?partial=1 (the router's scatter request) it answers with the
+// shard's untruncated partial rows instead of the final merged rows.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.setShardHeaders(w)
 	raw := r.URL.Query().Get("q")
 	qn, err := strconv.Atoi(raw)
 	if err != nil || qn < int(query.Q1) || qn > int(query.Q6) {
 		http.Error(w, fmt.Sprintf("bad q %q (want 1..6)", raw), http.StatusBadRequest)
 		return
 	}
+	partial := r.URL.Query().Get("partial") == "1"
 	ctx, cancel, err := s.deadlineCtx(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -277,6 +344,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	wait := time.Since(acqStart)
 	defer release()
+	if s.miningHist != nil {
+		// See handleOut: every admitted request observes latency,
+		// whether it completes, errors, or is shed mid-query.
+		defer func() { s.miningHist.ObserveDuration(time.Since(start)) }()
+	}
+	if partial {
+		s.servePartial(ctx, w, query.ID(qn))
+		return
+	}
 	res, err := s.eng.Run(ctx, query.ID(qn))
 	if err == nil && res.Trace != nil {
 		res.Trace.SetAttr("admission_wait_ns", int64(wait))
@@ -299,7 +375,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:  rows,
 		NavMS: float64(res.Nav.Total()) / float64(time.Millisecond),
 	})
-	if s.miningHist != nil {
-		s.miningHist.ObserveDuration(time.Since(start))
+}
+
+// servePartial answers one scatter leg of a routed mining query.
+func (s *Server) servePartial(ctx context.Context, w http.ResponseWriter, q query.ID) {
+	res, err := s.eng.RunPartial(ctx, q)
+	if err != nil {
+		if isShed(err) {
+			s.writeShed(w, ClassMining, err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	rows := res.Rows
+	if rows == nil {
+		rows = []query.PartialRow{}
+	}
+	shardID := 0
+	if s.shard != nil {
+		shardID = s.shard.ID
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PartialQueryResponse{
+		Query:    int(q),
+		Shard:    shardID,
+		Partials: rows,
+		NavMS:    float64(res.Nav.Total()) / float64(time.Millisecond),
+	})
 }

@@ -233,6 +233,62 @@ func TestDeadlinePropagatesThroughHTTP(t *testing.T) {
 	}
 }
 
+// TestOutRejectsNegativePage is the negative-page-ID regression test:
+// page=-5 parses fine as an int32, and before the fix it reached the
+// engine as a negative PageID instead of answering 400.
+func TestOutRejectsNegativePage(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, page := range []string{"-1", "-5", "-2147483648"} {
+		resp, err := http.Get(ts.URL + "/out?page=" + page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/out?page=%s: status %d, want 400", page, resp.StatusCode)
+		}
+	}
+}
+
+// TestLatencyObservedOnShed is the latency-bias regression test: an
+// ADMITTED request that is shed mid-query (deadline fires inside the
+// engine) still occupied an execution slot end-to-end, and its latency
+// must land in serve_latency_mining — before the fix only the success
+// path observed, biasing the p99 the load harness reports at the knee.
+func TestLatencyObservedOnShed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Config{Registry: reg})
+	reps := snodeReps(t)
+	for _, rep := range reps {
+		rep.ResetCache(64 << 10)
+		rep.SetPace(5.0)
+	}
+	defer func() {
+		for _, rep := range reps {
+			rep.SetPace(0)
+			rep.ResetCache(16 << 20)
+		}
+	}()
+
+	resp, err := http.Get(ts.URL + "/query?q=3&deadline_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("short-deadline query: status %d, want 429 (mid-query shed)", resp.StatusCode)
+	}
+	h, ok := reg.Snapshot().Histograms["serve_latency_mining"]
+	if !ok {
+		t.Fatal("serve_latency_mining not registered")
+	}
+	if h.Count != 1 {
+		t.Fatalf("serve_latency_mining count = %d after a mid-query shed, want 1 (admitted requests always observe)", h.Count)
+	}
+}
+
 // TestQueueFullShedsWith429: with one slot held and the one queue seat
 // taken, the next arrival is shed queue_full with 429 + Retry-After.
 func TestQueueFullShedsWith429(t *testing.T) {

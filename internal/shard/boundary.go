@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"snode/internal/webgraph"
+)
+
+// boundaryMagic / boundaryVersion head every boundary file.
+const (
+	boundaryMagic   = "SNBD"
+	boundaryVersion = 1
+)
+
+// Boundary is a shard's cross-shard edge store: a sparse adjacency map
+// over GLOBAL page IDs, loaded fully in memory (the locality argument
+// is precisely that this stays small — a few percent of the edges).
+// For a fwd boundary the keys are owned sources and the values remote
+// targets; for a rev boundary the keys are owned targets and the
+// values remote sources. Lists are sorted ascending and duplicate-free.
+// Safe for concurrent readers after Open/NewBoundary.
+type Boundary struct {
+	adj   map[webgraph.PageID][]webgraph.PageID
+	edges int64
+}
+
+// NewBoundary wraps an adjacency map (retained, not copied); each list
+// must be sorted ascending without duplicates.
+func NewBoundary(adj map[webgraph.PageID][]webgraph.PageID) *Boundary {
+	b := &Boundary{adj: adj}
+	for _, l := range adj {
+		b.edges += int64(len(l))
+	}
+	return b
+}
+
+// Out returns p's boundary adjacency (nil when p has no cross-shard
+// edges). The slice aliases the store and must not be modified.
+func (b *Boundary) Out(p webgraph.PageID) []webgraph.PageID { return b.adj[p] }
+
+// NumEdges reports the total cross-shard edge count.
+func (b *Boundary) NumEdges() int64 { return b.edges }
+
+// NumSources reports how many pages have at least one boundary edge.
+func (b *Boundary) NumSources() int { return len(b.adj) }
+
+// WriteBoundary serializes the store: magic, version, source count,
+// then per source (ascending) a gap-coded source ID, degree, and
+// gap-coded target list — the same uvarint+gap idiom as corpusio.
+func WriteBoundary(path string, adj map[webgraph.PageID][]webgraph.PageID) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(boundaryMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	srcs := make([]webgraph.PageID, 0, len(adj))
+	for p := range adj {
+		srcs = append(srcs, p)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	if err := put(boundaryVersion); err != nil {
+		f.Close()
+		return err
+	}
+	if err := put(uint64(len(srcs))); err != nil {
+		f.Close()
+		return err
+	}
+	prevSrc := int64(-1)
+	for _, p := range srcs {
+		if err := put(uint64(int64(p) - prevSrc)); err != nil {
+			f.Close()
+			return err
+		}
+		prevSrc = int64(p)
+		lst := adj[p]
+		if err := put(uint64(len(lst))); err != nil {
+			f.Close()
+			return err
+		}
+		prevT := int64(-1)
+		for _, t := range lst {
+			if err := put(uint64(int64(t) - prevT)); err != nil {
+				f.Close()
+				return err
+			}
+			prevT = int64(t)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenBoundary loads a store written by WriteBoundary.
+func OpenBoundary(path string) (*Boundary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(boundaryMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != boundaryMagic {
+		return nil, fmt.Errorf("shard: %s: not a boundary file", path)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(r) }
+	ver, err := get()
+	if err != nil || ver != boundaryVersion {
+		return nil, fmt.Errorf("shard: %s: boundary format %d, want %d", path, ver, boundaryVersion)
+	}
+	nsrc, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	adj := make(map[webgraph.PageID][]webgraph.PageID, nsrc)
+	prevSrc := int64(-1)
+	for i := uint64(0); i < nsrc; i++ {
+		d, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: truncated source %d: %w", path, i, err)
+		}
+		src := prevSrc + int64(d)
+		prevSrc = src
+		deg, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", path, err)
+		}
+		lst := make([]webgraph.PageID, deg)
+		prevT := int64(-1)
+		for j := range lst {
+			d, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("shard: %s: truncated list at source %d: %w", path, src, err)
+			}
+			prevT += int64(d)
+			lst[j] = webgraph.PageID(prevT)
+		}
+		adj[webgraph.PageID(src)] = lst
+	}
+	return NewBoundary(adj), nil
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"snode/internal/iosim"
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/snode"
+	"snode/internal/synth"
+	"snode/internal/webgraph"
+)
+
+var (
+	testCrawl *synth.Crawl
+	testRepo  *repo.Repository
+	testRoots = map[int]string{}
+)
+
+func getCrawl(t testing.TB) *synth.Crawl {
+	t.Helper()
+	if testCrawl == nil {
+		c, err := synth.Generate(synth.DefaultConfig(6000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCrawl = c
+	}
+	return testCrawl
+}
+
+// getSingleNode builds the reference single-node repository.
+func getSingleNode(t testing.TB) *repo.Repository {
+	t.Helper()
+	if testRepo != nil {
+		return testRepo
+	}
+	crawl := getCrawl(t)
+	dir, err := os.MkdirTemp("", "shard-ref-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repo.DefaultOptions(dir)
+	opt.Schemes = []string{repo.SchemeSNode}
+	opt.Layout = crawl.Order
+	r, err := repo.Build(crawl.Corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRepo = r
+	return r
+}
+
+// getRoot builds (once) a K-shard partition of the shared crawl.
+func getRoot(t testing.TB, k int) string {
+	t.Helper()
+	if root, ok := testRoots[k]; ok {
+		return root
+	}
+	crawl := getCrawl(t)
+	root, err := os.MkdirTemp("", "shard-root-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(crawl, k, root, snode.DefaultConfig()); err != nil {
+		t.Fatalf("Build K=%d: %v", k, err)
+	}
+	testRoots[k] = root
+	return root
+}
+
+func openAll(t *testing.T, root string, k int) []*ServingShard {
+	t.Helper()
+	shards := make([]*ServingShard, k)
+	for i := 0; i < k; i++ {
+		s, err := OpenServing(root, i, 16<<20, iosim.Model2002())
+		if err != nil {
+			t.Fatalf("OpenServing %d: %v", i, err)
+		}
+		t.Cleanup(func() { s.Close() })
+		shards[i] = s
+	}
+	return shards
+}
+
+func TestAssignCoversAndBalances(t *testing.T) {
+	crawl := getCrawl(t)
+	pages := crawl.Corpus.Pages
+	for _, k := range []int{1, 2, 4, 7} {
+		runs, err := Assign(pages, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := make([]int, k)
+		covered := 0
+		for _, r := range runs {
+			if int(r.Start) != covered {
+				t.Fatalf("K=%d: run starts at %d, want %d", k, r.Start, covered)
+			}
+			covered += int(r.Count)
+			load[r.Shard] += int(r.Count)
+			// Whole domains only: a run boundary never splits a domain.
+			if covered < len(pages) && pages[covered-1].Domain == pages[covered].Domain {
+				t.Fatalf("K=%d: run boundary at %d splits domain %q", k, covered, pages[covered].Domain)
+			}
+		}
+		if covered != len(pages) {
+			t.Fatalf("K=%d: runs cover %d of %d pages", k, covered, len(pages))
+		}
+		min, max := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		// Greedy LPT bound: domains are indivisible, so the spread can
+		// never beat the largest domain, but it must not exceed it.
+		largest := 0
+		for i := 0; i < len(pages); {
+			j := i
+			for j < len(pages) && pages[j].Domain == pages[i].Domain {
+				j++
+			}
+			if j-i > largest {
+				largest = j - i
+			}
+			i = j
+		}
+		if k > 1 && max-min > largest {
+			t.Errorf("K=%d: shard loads %v spread %d exceeds largest domain %d",
+				k, load, max-min, largest)
+		}
+	}
+}
+
+func TestBoundaryRoundTrip(t *testing.T) {
+	adj := map[webgraph.PageID][]webgraph.PageID{
+		0:    {5, 9, 1000},
+		7:    {2},
+		4242: {0, 1, 2, 4243},
+	}
+	path := filepath.Join(t.TempDir(), "b.fwd")
+	if err := WriteBoundary(path, adj); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenBoundary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumEdges() != 8 || b.NumSources() != 3 {
+		t.Fatalf("edges %d sources %d, want 8/3", b.NumEdges(), b.NumSources())
+	}
+	for src, want := range adj {
+		got := b.Out(src)
+		if len(got) != len(want) {
+			t.Fatalf("src %d: %v, want %v", src, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("src %d: %v, want %v", src, got, want)
+			}
+		}
+	}
+	if b.Out(12345) != nil {
+		t.Fatal("unknown source returned edges")
+	}
+}
+
+func TestManifestRoundTripAndShardOf(t *testing.T) {
+	root := getRoot(t, 4)
+	m, err := LoadManifest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawl := getCrawl(t)
+	pages := crawl.Corpus.Pages
+	for p := 0; p < len(pages); p++ {
+		s := m.ShardOf(webgraph.PageID(p))
+		if s < 0 || s >= m.NumShards {
+			t.Fatalf("page %d: shard %d", p, s)
+		}
+		if p > 0 && pages[p-1].Domain == pages[p].Domain &&
+			s != m.ShardOf(webgraph.PageID(p-1)) {
+			t.Fatalf("domain %q split across shards at page %d", pages[p].Domain, p)
+		}
+	}
+	if m.ShardOf(-1) != -1 || m.ShardOf(webgraph.PageID(len(pages))) != -1 {
+		t.Fatal("out-of-range pages resolved to a shard")
+	}
+	// Tampering with contents must invalidate the stamp.
+	m.Shards[0].IntraEdges++
+	if m.Version == m.stamp() {
+		t.Fatal("version stamp did not change with contents")
+	}
+}
+
+// TestMergedAdjacencyMatchesFullGraph is the core shard invariant: for
+// every page, the owning shard's merged store (intra S-Node + fwd
+// boundary) returns exactly the full graph's adjacency, and the rev
+// merged store exactly the transpose's.
+func TestMergedAdjacencyMatchesFullGraph(t *testing.T) {
+	crawl := getCrawl(t)
+	g := crawl.Corpus.Graph
+	gt := g.Transpose()
+	for _, k := range []int{2, 4} {
+		shards := openAll(t, getRoot(t, k), k)
+		m := shards[0].Manifest
+		intraEdges, boundaryEdges := int64(0), int64(0)
+		for _, e := range m.Shards {
+			intraEdges += e.IntraEdges
+			boundaryEdges += e.BoundaryFwdEdges
+		}
+		if intraEdges+boundaryEdges != g.NumEdges() {
+			t.Fatalf("K=%d: %d intra + %d boundary != %d total edges",
+				k, intraEdges, boundaryEdges, g.NumEdges())
+		}
+		for p := webgraph.PageID(0); int(p) < g.NumPages(); p++ {
+			sh := shards[m.ShardOf(p)]
+			for dir, pair := range map[string]struct {
+				st interface {
+					Out(webgraph.PageID, []webgraph.PageID) ([]webgraph.PageID, error)
+				}
+				want []webgraph.PageID
+			}{
+				"fwd": {sh.Repo.Fwd[repo.SchemeSNode], g.Out(p)},
+				"rev": {sh.Repo.Rev[repo.SchemeSNode], gt.Out(p)},
+			} {
+				got, err := pair.st.Out(p, nil)
+				if err != nil {
+					t.Fatalf("K=%d %s Out(%d): %v", k, dir, p, err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(pair.want) {
+					t.Fatalf("K=%d %s page %d: %d edges, want %d", k, dir, p, len(got), len(pair.want))
+				}
+				for i := range pair.want {
+					if got[i] != pair.want[i] {
+						t.Fatalf("K=%d %s page %d edge %d: %d, want %d", k, dir, p, i, got[i], pair.want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedQueriesMatchSingleNode is the in-process golden test: all
+// six Table 3 queries, executed as owned-restricted partials on each
+// opened shard and merged, must reproduce the single-node rows (the
+// HTTP-level twin lives in internal/router).
+func TestShardedQueriesMatchSingleNode(t *testing.T) {
+	ref := getSingleNode(t)
+	refEng, err := query.New(ref, repo.SchemeSNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		shards := openAll(t, getRoot(t, k), k)
+		engines := make([]*query.Engine, k)
+		for i, sh := range shards {
+			e, err := query.New(sh.Repo, repo.SchemeSNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetOwner(sh.Owns)
+			engines[i] = e
+		}
+		for _, q := range query.All() {
+			want, err := refEng.Run(context.Background(), q)
+			if err != nil {
+				t.Fatalf("single-node Q%d: %v", q, err)
+			}
+			var parts [][]query.PartialRow
+			for i, e := range engines {
+				p, err := e.RunPartial(context.Background(), q)
+				if err != nil {
+					t.Fatalf("K=%d shard %d Q%d: %v", k, i, q, err)
+				}
+				parts = append(parts, p.Rows)
+			}
+			got := query.MergePartials(q, parts)
+			if len(got) != len(want.Rows) {
+				t.Fatalf("K=%d Q%d: %d merged rows, want %d\n got: %v\nwant: %v",
+					k, q, len(got), len(want.Rows), got, want.Rows)
+			}
+			for i := range want.Rows {
+				if got[i].Key != want.Rows[i].Key {
+					t.Fatalf("K=%d Q%d row %d: key %q, want %q", k, q, i, got[i].Key, want.Rows[i].Key)
+				}
+				if diff := math.Abs(got[i].Value - want.Rows[i].Value); diff > 1e-9*math.Max(1, math.Abs(want.Rows[i].Value)) {
+					t.Fatalf("K=%d Q%d row %d (%s): value %v, want %v",
+						k, q, i, got[i].Key, got[i].Value, want.Rows[i].Value)
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard check bench bench-json bench-build bench-update bench-load bench-shard clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs check bench bench-json bench-build bench-update bench-load bench-shard bench-obs clean
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,15 @@ test-race:
 # Guard the untraced serving path: an engine with an attached-but-never-
 # sampling tracer must add zero allocations per query, and the trace
 # primitives themselves must be allocation-free when the context carries
-# no trace. Run with -count=1 so the guard always executes.
+# no trace. The cross-process guards extend this across the tier: an
+# unsampled routed request must emit no X-SNode-Trace header and pay
+# zero allocations for the propagation machinery at the router, the
+# shard server, and the header codec. Run with -count=1 so the guard
+# always executes.
 check-overhead:
 	$(GO) test -count=1 -run 'TestUntracedTracingAddsNoAllocs' ./internal/query
 	$(GO) test -count=1 -run 'TestUntracedPrimitivesZeroAlloc' ./internal/trace
+	$(GO) test -count=1 -run 'TestCrossProcessUntracedZeroAlloc' ./internal/trace ./internal/serve ./internal/router
 
 # Build determinism: the parallel refiner and streaming assembly must
 # produce byte-identical partitions and artifacts at every worker
@@ -59,7 +64,20 @@ test-load:
 test-shard:
 	$(GO) test -race -count=1 ./internal/shard ./internal/router
 
-check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard
+# Observability gate: the distributed-trace golden test (a sampled
+# /query at K=2 stitches one trace with both shard subtrees), the
+# federation invariant (cluster merge == sum of per-replica scrapes,
+# stale replicas retained), the SLO scoreboard's burn-rate reaction to
+# an outage, histogram merge algebra (bucket sums, exemplar retention,
+# typed bounds-mismatch errors), and sampled-bit propagation across
+# differing SampleEvery settings. Run with -count=1 so the gate always
+# executes.
+test-obs:
+	$(GO) test -count=1 -run 'TestDistributedTraceStitching|TestClusterMetricsInvariant|TestSLOScoreboard' ./internal/router
+	$(GO) test -count=1 -run 'TestRemoteSampledBit|TestForcedSampling|TestStartLinked|TestHeaderRoundTrip' ./internal/serve ./internal/trace
+	$(GO) test -count=1 ./internal/slo ./internal/metrics
+
+check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -104,6 +122,16 @@ bench-load:
 # provenance block records both).
 bench-shard:
 	$(GO) run ./cmd/snbench -experiment shard -quick -shard-out BENCH_PR7.json
+
+# Fleet-observability artifact: a K=2 routed tier with per-replica
+# registries and router-forced tracing, driven through a healthy phase
+# and an overload phase. The report pins the PR's invariants: the SLO
+# burn rate reacts (healthy ~0x, overload >1x), the cluster merge
+# equals the per-replica scrape sums, a killed replica's counters stay
+# visible with a staleness mark, and a latency-tail exemplar resolves
+# to a stitched distributed trace with both shard subtrees.
+bench-obs:
+	$(GO) run ./cmd/snbench -experiment obs -quick -obs-out BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,7 @@
 //	snbench -experiment update       # serving latency vs delta depth
 //	snbench -experiment load         # open-loop latency vs offered load
 //	snbench -experiment shard        # distributed serving QPS vs shard count
+//	snbench -experiment obs          # fleet observability plane end to end
 //
 // -quick runs a reduced scale for smoke testing.
 //
@@ -42,6 +43,7 @@ type runFlags struct {
 	updateOut string
 	loadOut   string
 	shardOut  string
+	obsOut    string
 }
 
 // experimentSpec is one registry entry. name is the canonical
@@ -68,6 +70,7 @@ func experiments() []experimentSpec {
 		{name: "update", desc: "serving latency vs delta depth", run: runUpdate},
 		{name: "load", desc: "open-loop latency vs offered load", run: runLoad},
 		{name: "shard", desc: "distributed serving QPS vs shard count", run: runShard},
+		{name: "obs", desc: "fleet observability plane end to end", run: runObs},
 		{name: "ablation", desc: "§3 design-choice studies", run: runAblation},
 	}
 }
@@ -239,6 +242,21 @@ func runShard(rf *runFlags) error {
 	return nil
 }
 
+func runObs(rf *runFlags) error {
+	rep, err := bench.Obs(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderObs(rf.cfg, rep)
+	if rf.obsOut != "" {
+		if err := bench.ObsJSON(rf.obsOut, rf.cfg, rep); err != nil {
+			return err
+		}
+		fmt.Printf("observability report written to %s\n", rf.obsOut)
+	}
+	return nil
+}
+
 func runAblation(rf *runFlags) error {
 	rows, err := bench.Ablations(rf.cfg)
 	if err != nil {
@@ -273,6 +291,7 @@ func main() {
 	updateOut := flag.String("update-out", "", "write the serving-under-churn rows as JSON to this file after the run")
 	loadOut := flag.String("load-out", "", "write the open-loop load rows as JSON to this file after the run")
 	shardOut := flag.String("shard-out", "", "write the shard-scaling rows as JSON to this file after the run")
+	obsOut := flag.String("obs-out", "", "write the fleet-observability report as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -310,6 +329,7 @@ func main() {
 		updateOut: *updateOut,
 		loadOut:   *loadOut,
 		shardOut:  *shardOut,
+		obsOut:    *obsOut,
 	}
 	for _, spec := range specs {
 		name := spec.name

@@ -24,6 +24,8 @@
 //	               hit/miss/load/coalesce/eviction counters,
 //	               decoded-bytes gauges, iosim seek/transfer/stall
 //	               accounting, worker occupancy
+//	/metrics.json  the same registry as a JSON snapshot — the mergeable
+//	               scrape format snrouter's /cluster/metrics federates
 //	/debug/vars    the same snapshot as expvar JSON
 //	/debug/pprof   the standard net/http/pprof profiles
 //	/debug/traces  the slow-query log: retained execution traces as JSON
@@ -74,8 +76,12 @@
 // edges only — the router appends the cross-shard rest from its
 // resident boundary stores. Responses carry X-SNode-Shard and
 // X-SNode-Shard-Version headers so the router can detect build/serve
-// version skew. Shard mode requires -listen and ignores the workload
-// flags (-pages, -goroutines, -rounds, -live).
+// version skew. A shard replica honors the router's X-SNode-Trace
+// propagation header: a parent-sampled request is force-traced even
+// with -trace-every 0, answered with X-SNode-Trace-Id so the router
+// can fetch the completed span subtree from /debug/traces and stitch
+// it into the distributed trace. Shard mode requires -listen and
+// ignores the workload flags (-pages, -goroutines, -rounds, -live).
 //
 //	snserve -shard-root ./shards -shard-id 0 -listen :8081
 package main
@@ -275,11 +281,13 @@ func runShard(o *options) error {
 
 	reg := metrics.NewRegistry()
 	e.SetMetrics(reg)
-	var tracer *trace.Tracer
-	if o.traceEvery > 0 {
-		tracer = trace.New(trace.Config{SampleEvery: o.traceEvery, SlowPerClass: o.traceSlow})
-		e.SetTracer(tracer)
-	}
+	// A shard replica always carries a tracer, even with -trace-every 0
+	// (local sampling disabled): the router's sampled bit force-traces
+	// individual requests through StartLinked regardless of the local
+	// rotation, and /debug/traces is where the router fetches the
+	// completed subtree to stitch.
+	tracer := trace.New(trace.Config{SampleEvery: o.traceEvery, SlowPerClass: o.traceSlow})
+	e.SetTracer(tracer)
 	prefixes := []string{"snode_fwd", "snode_rev"}
 	for i, s := range []store.LinkStore{sh.NavRepo.Fwd[repo.SchemeSNode], sh.NavRepo.Rev[repo.SchemeSNode]} {
 		if sn, ok := s.(*snode.Representation); ok {
@@ -303,6 +311,7 @@ func runShard(o *options) error {
 		MaxQueue:        o.maxQueue,
 		DefaultDeadline: o.deadline,
 		Registry:        reg,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return err
@@ -412,6 +421,7 @@ func buildMux(reg *metrics.Registry, tracer *trace.Tracer, state *liveState, qs 
 		qs.Register(mux)
 	}
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/traces", trace.Handler(tracer))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -582,6 +592,7 @@ func runServe(o *options) error {
 			MaxQueue:        o.maxQueue,
 			DefaultDeadline: o.deadline,
 			Registry:        reg,
+			Tracer:          tracer,
 		})
 		if err != nil {
 			return err

@@ -19,7 +19,9 @@ import (
 	"snode/internal/admission"
 	"snode/internal/query"
 	"snode/internal/repo"
+	"snode/internal/metrics"
 	"snode/internal/serve"
+	"snode/internal/slo"
 	"snode/internal/snode"
 	"snode/internal/store"
 )
@@ -141,6 +143,36 @@ type LoadSummary struct {
 type LoadReport struct {
 	Rows    []LoadRow   `json:"rows"`
 	Summary LoadSummary `json:"summary"`
+	// SLO is the scoreboard's judgement of the whole sweep: sampled
+	// from the server's own admission counters and latency histograms
+	// before the first point and after the last, so the past-the-knee
+	// points show up as availability burn.
+	SLO *slo.Report `json:"slo,omitempty"`
+}
+
+// serveObjectives scores a single serve.Server's registry: offered vs
+// shed per class from the admission counters, latency from the
+// serve_latency histograms, with the per-class request deadlines as
+// the p99 targets.
+func serveObjectives() []slo.Objective {
+	return []slo.Objective{
+		{
+			Class:        "nav",
+			TotalCounter: "admission_nav_offered",
+			BadCounters:  []string{"admission_nav_shed"},
+			LatencyHist:  "serve_latency_nav",
+			Availability: 0.999,
+			P99:          loadNavDeadline,
+		},
+		{
+			Class:        "mining",
+			TotalCounter: "admission_mining_offered",
+			BadCounters:  []string{"admission_mining_shed"},
+			LatencyHist:  "serve_latency_mining",
+			Availability: 0.999,
+			P99:          loadMiningDeadline,
+		},
+	}
 }
 
 // arrival is one scheduled request of a pre-generated trace.
@@ -452,11 +484,17 @@ func Load(cfg Config) (*LoadReport, error) {
 		}
 	}()
 
+	// The scoreboard needs the admission counters and latency
+	// histograms even when the caller did not ask for a registry.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	srv, err := serve.New(serve.Config{
 		Engine:        e,
 		MaxConcurrent: loadMaxConcurrent,
 		MaxQueue:      loadMaxQueue,
-		Registry:      cfg.Metrics,
+		Registry:      reg,
 	})
 	if err != nil {
 		return nil, err
@@ -489,6 +527,12 @@ func Load(cfg Config) (*LoadReport, error) {
 		return nil, fmt.Errorf("bench: load capacity probe completed zero requests")
 	}
 
+	// Scoreboard over the sweep: baseline AFTER the capacity probe so
+	// only the open-loop points are judged. The window is wide enough
+	// that the whole sweep lands in it.
+	board := slo.New(slo.Config{Window: time.Hour, Objectives: serveObjectives()})
+	board.Sample(time.Now(), reg.Snapshot())
+
 	rep := &LoadReport{}
 	point := 0
 	run := func(kind string, fr float64) {
@@ -503,6 +547,10 @@ func Load(cfg Config) (*LoadReport, error) {
 	for _, fr := range loadBurstFractions() {
 		run("burst", fr)
 	}
+	now := time.Now()
+	board.Sample(now, reg.Snapshot())
+	sloRep := board.Report(now)
+	rep.SLO = &sloRep
 
 	sum := LoadSummary{
 		CapacityQPS: capacity,
@@ -562,6 +610,10 @@ func RenderLoad(cfg Config, rep *LoadReport) {
 		s.KneeOfferedRPS, s.AtKneeP99MS, s.At2xKneeP99MS, s.P99Ratio, s.ShedAt2xKnee)
 	fmt.Fprintf(w, "queues stayed bounded: max depth %d of %d; hedged reads: %d launched, %d won\n",
 		s.MaxQueueDepthSeen, 2*s.QueueBound, s.HedgesLaunched, s.HedgeWins)
+	if rep.SLO != nil {
+		fmt.Fprintln(w, rep.SLO.Summary())
+		fmt.Fprintln(w, "(the sweep deliberately crosses the knee, so availability burn >1 here means shedding worked)")
+	}
 	fmt.Fprintln(w, "(past the knee the server sheds with 429 + Retry-After instead of queueing unboundedly)")
 	fmt.Fprintln(w)
 }
@@ -584,6 +636,7 @@ func LoadJSON(path string, cfg Config, rep *LoadReport) error {
 		HedgeAfterMS  int64       `json:"hedge_after_ms"`
 		Rows          []LoadRow   `json:"rows"`
 		Summary       LoadSummary `json:"summary"`
+		SLO           *slo.Report `json:"slo,omitempty"`
 	}{
 		Experiment:    "load",
 		Provenance:    NewProvenance(),
@@ -595,6 +648,7 @@ func LoadJSON(path string, cfg Config, rep *LoadReport) error {
 		HedgeAfterMS:  loadHedgeAfter.Milliseconds(),
 		Rows:          rep.Rows,
 		Summary:       rep.Summary,
+		SLO:           rep.SLO,
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,494 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"snode/internal/metrics"
+	"snode/internal/query"
+	"snode/internal/repo"
+	"snode/internal/router"
+	"snode/internal/serve"
+	"snode/internal/shard"
+	"snode/internal/slo"
+	"snode/internal/trace"
+)
+
+// The obs experiment exercises the fleet observability plane end to
+// end over real HTTP: a K-shard routed tier where every replica keeps
+// its own metrics registry (scraped into /cluster/metrics) and a
+// SampleEvery=0 tracer (so the only traces a replica retains are the
+// ones the router's X-SNode-Trace header forced), fronted by a router
+// that samples, stitches distributed traces, and scores the tier
+// against availability and p99 objectives.
+//
+// Two closed-loop phases drive the checks the committed artifact pins:
+//
+//   - healthy: fewer workers than the tier has admission slots, so
+//     nothing queues and the scoreboard reads near-zero burn;
+//   - overload: several times more workers than the tier's total
+//     slot+queue capacity, so the replicas shed and the error-budget
+//     burn rate must REACT — jump from ~0 past 1.0 — within one
+//     scoreboard window.
+//
+// After the phases (no traffic in flight, so counters are stable) the
+// run verifies the federation invariant — the cluster-wide merge
+// equals the per-replica scrape sums, counter by counter and histogram
+// count by histogram count — follows one latency-histogram tail
+// exemplar to its stitched distributed trace, and kills one replica to
+// show its last-known counters survive in the cluster view with a
+// staleness mark.
+
+const (
+	// obsK is the tier's shard count; one replica per shard.
+	obsK = 2
+	// obsTraceEvery samples 1 in N routed requests into stitched
+	// distributed traces.
+	obsTraceEvery = 16
+	// obsOverloadPerSlot scales the overload closed loop: workers per
+	// tier admission slot, far past slot+queue capacity so the
+	// admission layer must shed.
+	obsOverloadPerSlot = 6
+)
+
+// ObsPhase is one closed-loop phase plus the scoreboard's windowed
+// judgement of it.
+type ObsPhase struct {
+	Name     string        `json:"name"`
+	Workers  int           `json:"workers"`
+	Duration time.Duration `json:"duration_ns"`
+	Requests int64         `json:"requests"`
+	OK       int64         `json:"ok"`
+	Shed     int64         `json:"shed"`
+	Errors   int64         `json:"errors"`
+	QPS      float64       `json:"qps"`
+	// Met is Report.Met() over the phase's window; Nav/Mining are the
+	// per-class evaluations (availability, burn rates, p99 vs target).
+	Met    bool            `json:"slo_met"`
+	Nav    slo.ClassReport `json:"nav"`
+	Mining slo.ClassReport `json:"mining"`
+}
+
+// ObsClusterCheck is the federation-invariant verification.
+type ObsClusterCheck struct {
+	Replicas          int      `json:"replicas"`
+	CountersChecked   int      `json:"counters_checked"`
+	HistogramsChecked int      `json:"histograms_checked"`
+	Consistent        bool     `json:"consistent"`
+	Mismatches        []string `json:"mismatches,omitempty"`
+	// StaleAfterKill counts replicas served from the scrape cache
+	// (with a staleness mark) after one replica was killed.
+	StaleAfterKill int `json:"stale_after_kill"`
+}
+
+// ObsTraceCheck is the distributed-tracing verification: counters from
+// the router registry plus one exemplar-linked trace fetched back from
+// /debug/traces.
+type ObsTraceCheck struct {
+	Stitched     int64 `json:"stitched"`
+	StitchErrors int64 `json:"stitch_errors"`
+	// ExemplarTraceID is the trace behind the mining latency
+	// histogram's tail bucket (the p99 -> trace pointer).
+	ExemplarTraceID uint64 `json:"exemplar_trace_id"`
+	// Example* describe one stitched trace fetched back from
+	// /debug/traces: the exemplar's when it is still retained, else
+	// the slowest retained stitched trace (the slow log is bounded).
+	ExampleTraceID uint64 `json:"example_trace_id"`
+	ExampleClass   string `json:"example_class,omitempty"`
+	ExampleRemotes int    `json:"example_remotes"`
+	ExampleSpans   int    `json:"example_spans"`
+}
+
+// ObsReport is the experiment's full result.
+type ObsReport struct {
+	K             int             `json:"shards"`
+	Replicas      int             `json:"replicas"`
+	TraceEvery    int             `json:"trace_every"`
+	WindowSeconds float64         `json:"slo_window_seconds"`
+	Healthy       ObsPhase        `json:"healthy"`
+	Overload      ObsPhase        `json:"overload"`
+	Cluster       ObsClusterCheck `json:"cluster"`
+	Trace         ObsTraceCheck   `json:"trace"`
+}
+
+// obsServe starts one replica: the serve endpoints plus the scrape
+// surface the router federates (/metrics.json) and the trace-export
+// endpoint stitching fetches from (/debug/traces).
+func obsServe(cfg serve.Config, reg *metrics.Registry, tr *trace.Tracer) (string, func(), error) {
+	qs, err := serve.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	qs.Register(mux)
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.Handle("/debug/traces", trace.Handler(tr))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// obsPhase runs one closed loop and snapshots the scoreboard after it.
+func obsPhase(name, base string, client *http.Client, board *slo.Scoreboard, reg *metrics.Registry,
+	seed uint64, pages, workers int, d time.Duration) ObsPhase {
+	row := shardClosedLoop(base, client, seed, pages, workers, d)
+	now := time.Now()
+	board.Sample(now, reg.Snapshot())
+	rep := board.Report(now)
+	return ObsPhase{
+		Name:     name,
+		Workers:  workers,
+		Duration: row.Duration,
+		Requests: row.Requests,
+		OK:       row.OK,
+		Shed:     row.Shed,
+		Errors:   row.Errors,
+		QPS:      row.QPS,
+		Met:      rep.Met(),
+		Nav:      rep.Class("nav"),
+		Mining:   rep.Class("mining"),
+	}
+}
+
+// obsClusterCheck verifies the federation invariant on a scrape: the
+// cluster merge must equal the sum over every replica snapshot it saw.
+func obsClusterCheck(cm router.ClusterMetrics) ObsClusterCheck {
+	out := ObsClusterCheck{Replicas: len(cm.Replicas), Consistent: true}
+	sumC := map[string]int64{}
+	sumH := map[string]int64{}
+	for _, rm := range cm.Replicas {
+		if rm.Snapshot == nil {
+			continue
+		}
+		for k, v := range rm.Snapshot.Counters {
+			sumC[k] += v
+		}
+		for k, h := range rm.Snapshot.Histograms {
+			sumH[k] += h.Count
+		}
+	}
+	fail := func(format string, args ...any) {
+		out.Consistent = false
+		out.Mismatches = append(out.Mismatches, fmt.Sprintf(format, args...))
+	}
+	for _, e := range cm.Errors {
+		fail("scrape/merge error: %s", e)
+	}
+	names := make([]string, 0, len(cm.Cluster.Counters))
+	for k := range cm.Cluster.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		out.CountersChecked++
+		if got, want := cm.Cluster.Counters[k], sumC[k]; got != want {
+			fail("counter %s: cluster %d != replica sum %d", k, got, want)
+		}
+	}
+	for k, want := range sumC {
+		if _, ok := cm.Cluster.Counters[k]; !ok && want != 0 {
+			fail("counter %s: in replica sums but missing from cluster merge", k)
+		}
+	}
+	hnames := make([]string, 0, len(cm.Cluster.Histograms))
+	for k := range cm.Cluster.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		out.HistogramsChecked++
+		if got, want := cm.Cluster.Histograms[k].Count, sumH[k]; got != want {
+			fail("histogram %s: cluster count %d != replica sum %d", k, got, want)
+		}
+	}
+	return out
+}
+
+// Obs runs the observability-plane experiment.
+func Obs(cfg Config) (*ObsReport, error) {
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	dur := cfg.LoadDuration
+	if dur <= 0 {
+		dur = 2500 * time.Millisecond
+	}
+
+	// Partition the corpus and start one replica per shard, each with
+	// its own registry and a local-sampling-off tracer: every trace a
+	// replica retains was forced by the router's sampled bit.
+	root := filepath.Join(ws, "obs-shards")
+	opt := repo.DefaultOptions(root)
+	m, err := shard.Build(crawl, obsK, root, opt.SNode)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs shard build: %w", err)
+	}
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	var replicas [][]string
+	for s := 0; s < obsK; s++ {
+		sh, err := shard.OpenServing(root, s, cfg.QueryBudget, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		defer sh.Close()
+		se, err := query.New(sh.Repo, repo.SchemeSNode)
+		if err != nil {
+			return nil, err
+		}
+		se.SetOwner(sh.Owns)
+		nav, err := query.New(sh.NavRepo, repo.SchemeSNode)
+		if err != nil {
+			return nil, err
+		}
+		paceStores(sh.Repo, pace)
+		rreg := metrics.NewRegistry()
+		rtr := trace.New(trace.Config{SampleEvery: 0})
+		u, stop, err := obsServe(serve.Config{
+			Engine:        se,
+			NavEngine:     nav,
+			Shard:         &serve.ShardInfo{ID: s, Count: obsK, Version: m.Version},
+			MaxConcurrent: loadMaxConcurrent,
+			MaxQueue:      loadMaxQueue,
+			Registry:      rreg,
+			Tracer:        rtr,
+		}, rreg, rtr)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, stop)
+		replicas = append(replicas, []string{u})
+	}
+
+	bs, err := shard.LoadFwdBoundaries(root, m)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+		IdleConnTimeout:     30 * time.Second,
+	}}
+	reg := metrics.NewRegistry()
+	tracer := trace.New(trace.Config{SampleEvery: obsTraceEvery, SlowPerClass: 8})
+	rt, err := router.New(router.Config{
+		Manifest:      m,
+		Boundaries:    bs,
+		Replicas:      replicas,
+		Client:        client,
+		ProbeInterval: -1,
+		Registry:      reg,
+		Tracer:        tracer,
+		SLO: router.SLOConfig{
+			// One phase per window: the overload report's baseline is the
+			// end-of-healthy sample, so its burn is the overload's own.
+			Window:    dur,
+			NavP99:    loadNavDeadline,
+			MiningP99: time.Second,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	mux := http.NewServeMux()
+	rt.Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	rep := &ObsReport{K: obsK, Replicas: obsK, TraceEvery: obsTraceEvery, WindowSeconds: dur.Seconds()}
+	board := rt.Scoreboard()
+	board.Sample(time.Now(), reg.Snapshot())
+
+	// Healthy: half the tier's admission slots in closed loop, so
+	// nothing queues and nothing sheds.
+	rep.Healthy = obsPhase("healthy", base, client, board, reg,
+		cfg.Seed, cfg.QuerySize, loadMaxConcurrent, dur)
+
+	// Overload: far past the tier's slot+queue capacity, so the
+	// admission layer sheds and the scoreboard's burn must react.
+	rep.Overload = obsPhase("overload", base, client, board, reg,
+		cfg.Seed+1, cfg.QuerySize, obsOverloadPerSlot*obsK*loadMaxConcurrent, dur)
+
+	// Quiesced now: verify the federation invariant on a live scrape.
+	rep.Cluster = obsClusterCheck(rt.ScrapeCluster(context.Background()))
+
+	// Follow the mining latency histogram's tail exemplar to its
+	// stitched distributed trace, the way an operator chases a p99
+	// outlier.
+	snap := reg.Snapshot()
+	rep.Trace.Stitched = snap.Counters["router_traces_stitched"]
+	rep.Trace.StitchErrors = snap.Counters["router_stitch_errors"]
+	_, exemplar := snap.Histograms["router_latency_mining"].TailExemplar()
+	if exemplar == 0 {
+		_, exemplar = snap.Histograms["router_latency_nav"].TailExemplar()
+	}
+	rep.Trace.ExemplarTraceID = exemplar
+	var candidates []uint64
+	if exemplar != 0 {
+		candidates = append(candidates, exemplar)
+	}
+	retained := tracer.Traces()
+	sort.Slice(retained, func(i, j int) bool {
+		return retained[i].Summary().TotalNs > retained[j].Summary().TotalNs
+	})
+	for _, t := range retained {
+		candidates = append(candidates, t.ID)
+	}
+	for _, id := range candidates {
+		resp, err := client.Get(fmt.Sprintf("%s/debug/traces?id=%d", base, id))
+		if err != nil {
+			continue
+		}
+		var tj trace.TraceJSON
+		ok := resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&tj) == nil
+		resp.Body.Close()
+		if !ok || len(tj.Remotes) == 0 {
+			continue
+		}
+		rep.Trace.ExampleTraceID = tj.ID
+		rep.Trace.ExampleClass = tj.Class
+		rep.Trace.ExampleRemotes = len(tj.Remotes)
+		rep.Trace.ExampleSpans = countSpans(tj.Root)
+		break
+	}
+
+	// Kill one replica and scrape again: its last-known counters must
+	// survive in the cluster view, marked stale.
+	stops[len(stops)-1]()
+	stops = stops[:len(stops)-1]
+	cm := rt.ScrapeCluster(context.Background())
+	for _, rm := range cm.Replicas {
+		if rm.Stale {
+			rep.Cluster.StaleAfterKill++
+		}
+	}
+	return rep, nil
+}
+
+// countSpans sizes an exported span subtree.
+func countSpans(s *trace.SpanJSON) int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// renderObsPhase prints one phase's traffic line plus its per-class
+// scoreboard lines.
+func renderObsPhase(w io.Writer, p ObsPhase) {
+	fmt.Fprintf(w, "%-8s %4d workers: %d requests, %d ok, %d shed, %d err, %.1f qps\n",
+		p.Name, p.Workers, p.Requests, p.OK, p.Shed, p.Errors, p.QPS)
+	for _, c := range []slo.ClassReport{p.Nav, p.Mining} {
+		status := "OK"
+		if !c.AvailabilityMet || !c.P99Met {
+			status = "BURNING"
+		}
+		fmt.Fprintf(w, "  slo %-6s %-7s avail %.4f (burn %.2fx) p99 %.1fms/%.0fms (burn %.2fx) over %d reqs\n",
+			c.Class, status, c.Availability, c.AvailabilityBurn,
+			c.P99MS, c.P99TargetMS, c.LatencyBurn, c.Requests)
+	}
+}
+
+// RenderObs prints the observability-plane report.
+func RenderObs(cfg Config, rep *ObsReport) {
+	w := cfg.out()
+	fmt.Fprintf(w, "Fleet observability: K=%d routed tier, 1-in-%d distributed tracing, %.1fs SLO window (%d pages)\n",
+		rep.K, rep.TraceEvery, rep.WindowSeconds, cfg.QuerySize)
+	renderObsPhase(w, rep.Healthy)
+	renderObsPhase(w, rep.Overload)
+	c := rep.Cluster
+	verdict := "HOLDS"
+	if !c.Consistent {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(w, "federation: cluster merge == replica sums %s over %d replicas (%d counters, %d histograms checked)\n",
+		verdict, c.Replicas, c.CountersChecked, c.HistogramsChecked)
+	for _, mm := range c.Mismatches {
+		fmt.Fprintf(w, "  mismatch: %s\n", mm)
+	}
+	fmt.Fprintf(w, "federation: %d stale replica snapshot(s) retained in the cluster view after a kill\n", c.StaleAfterKill)
+	t := rep.Trace
+	fmt.Fprintf(w, "tracing: %d distributed trace(s) stitched (%d errors); tail exemplar -> trace %d\n",
+		t.Stitched, t.StitchErrors, t.ExemplarTraceID)
+	fmt.Fprintf(w, "tracing: fetched stitched trace %d (%s): %d shard subtree(s), %d router span(s)\n",
+		t.ExampleTraceID, t.ExampleClass, t.ExampleRemotes, t.ExampleSpans)
+	fmt.Fprintln(w, "(burn >1.0 means the error budget is being consumed faster than the objective allows)")
+	fmt.Fprintln(w)
+}
+
+// ObsJSON writes the report (plus scale parameters and run provenance)
+// as the committed benchmark artifact.
+func ObsJSON(path string, cfg Config, rep *ObsReport) error {
+	pace := cfg.Pace
+	if pace <= 0 {
+		pace = 1.0
+	}
+	doc := struct {
+		Experiment  string     `json:"experiment"`
+		Provenance  Provenance `json:"provenance"`
+		Pages       int        `json:"pages"`
+		BudgetBytes int64      `json:"budget_bytes"`
+		Pace        float64    `json:"pace"`
+		NavShare    float64    `json:"nav_share"`
+		Report      *ObsReport `json:"report"`
+	}{
+		Experiment:  "obs",
+		Provenance:  NewProvenance(),
+		Pages:       cfg.QuerySize,
+		BudgetBytes: cfg.QueryBudget,
+		Pace:        pace,
+		NavShare:    loadNavShare,
+		Report:      rep,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

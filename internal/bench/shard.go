@@ -11,11 +11,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snode/internal/metrics"
 	"snode/internal/query"
 	"snode/internal/repo"
 	"snode/internal/router"
 	"snode/internal/serve"
 	"snode/internal/shard"
+	"snode/internal/slo"
 	"snode/internal/store"
 )
 
@@ -59,6 +61,10 @@ type ShardRow struct {
 	// Partition shape (router rows only): how much of the edge set
 	// stayed intra-shard.
 	IntraEdgePct float64 `json:"intra_edge_pct,omitempty"`
+	// SLO is the tier's scoreboard over this row's closed loop: the
+	// single-node row is judged from its server's admission metrics,
+	// router rows from the router's client-facing counters.
+	SLO *slo.Report `json:"slo,omitempty"`
 }
 
 // ShardReport is the experiment's full result.
@@ -189,16 +195,23 @@ func Shard(cfg Config) (*ShardReport, error) {
 		return nil, err
 	}
 	paceStores(single, pace)
+	sreg := metrics.NewRegistry()
 	base, stopSingle, err := shardServe(serve.Config{
 		Engine:        eng,
 		MaxConcurrent: loadMaxConcurrent,
 		MaxQueue:      loadMaxQueue,
+		Registry:      sreg,
 	})
 	if err != nil {
 		return nil, err
 	}
+	sboard := slo.New(slo.Config{Window: time.Hour, Objectives: serveObjectives()})
+	sboard.Sample(time.Now(), sreg.Snapshot())
 	workers := shardWorkersPerSlot * loadMaxConcurrent
 	row := shardClosedLoop(base, client, cfg.Seed, cfg.QuerySize, workers, dur)
+	sboard.Sample(time.Now(), sreg.Snapshot())
+	srep := sboard.Report(time.Now())
+	row.SLO = &srep
 	stopSingle()
 	paceStores(single, 0)
 	row.Tier, row.K, row.Speedup = "single", 0, 1.0
@@ -252,12 +265,19 @@ func Shard(cfg Config) (*ShardReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		rreg := metrics.NewRegistry()
 		rt, err := router.New(router.Config{
 			Manifest:      m,
 			Boundaries:    bs,
 			Replicas:      replicas,
 			Client:        client,
 			ProbeInterval: -1,
+			Registry:      rreg,
+			SLO: router.SLOConfig{
+				Window:    time.Hour,
+				NavP99:    loadNavDeadline,
+				MiningP99: loadMiningDeadline,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -272,7 +292,12 @@ func Shard(cfg Config) (*ShardReport, error) {
 		// The tier has K x loadMaxConcurrent slots; scale the closed loop
 		// with it so offered concurrency is not the bottleneck.
 		workers := shardWorkersPerSlot * loadMaxConcurrent * k
+		board := rt.Scoreboard()
+		board.Sample(time.Now(), rreg.Snapshot())
 		row := shardClosedLoop("http://"+ln.Addr().String(), client, cfg.Seed, cfg.QuerySize, workers, dur)
+		board.Sample(time.Now(), rreg.Snapshot())
+		rrep := board.Report(time.Now())
+		row.SLO = &rrep
 		hs.Close()
 		rt.Close()
 		for _, stop := range stops {
@@ -310,6 +335,23 @@ func RenderShard(cfg Config, rep *ShardReport) {
 			r.NavP50MS, r.NavP99MS, r.MiningP50MS, r.MiningP99MS)
 	}
 	fmt.Fprintln(w, "(nav routes to one shard and scales with K; mining scatters to all shards and merges at the router)")
+	for _, r := range rep.Rows {
+		if r.SLO == nil {
+			continue
+		}
+		tier := r.Tier
+		if r.K > 0 {
+			tier = fmt.Sprintf("%s K=%d", r.Tier, r.K)
+		}
+		for _, c := range r.SLO.Classes {
+			status := "OK"
+			if !c.AvailabilityMet || !c.P99Met {
+				status = "BURNING"
+			}
+			fmt.Fprintf(w, "slo %-11s %-6s %-7s avail %.4f (burn %.2fx) p99 %.1fms/%.0fms over %d reqs\n",
+				tier, c.Class, status, c.Availability, c.AvailabilityBurn, c.P99MS, c.P99TargetMS, c.Requests)
+		}
+	}
 	fmt.Fprintln(w)
 }
 

@@ -133,3 +133,16 @@ func (r *Registry) Handler() http.Handler {
 		_ = r.Snapshot().WriteText(w)
 	})
 }
+
+// JSONHandler returns an http.Handler serving the registry's current
+// state as a raw Snapshot in JSON (the /metrics.json endpoint). Unlike
+// WriteJSON's archival form, this is the machine-to-machine scrape
+// format: every Snapshot field is exported, so the router's federation
+// scrape decodes it back into a Snapshot losslessly and merges it.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(r.Snapshot())
+	})
+}

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHistogramMergeBucketwiseSums(t *testing.T) {
+	a, b := NewHistogram(nil), NewHistogram(nil)
+	for _, v := range []int64{500, 2_000_000, 40_000_000} { // 1µs / 3ms / 100ms buckets
+		a.Observe(v)
+	}
+	for _, v := range []int64{700, 700, 9_000_000_000} { // 1µs x2, 10s
+		b.Observe(v)
+	}
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", m.Count)
+	}
+	if want := int64(500 + 2_000_000 + 40_000_000 + 700 + 700 + 9_000_000_000); m.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", m.Sum, want)
+	}
+	var total int64
+	for _, c := range m.Counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+	// The 1µs bucket holds observations from both sides.
+	if m.Counts[0] != 3 {
+		t.Fatalf("first bucket = %d, want 3", m.Counts[0])
+	}
+	// Merging must not mutate the inputs.
+	if as := a.Snapshot(); as.Count != 3 {
+		t.Fatalf("input snapshot mutated: count %d", as.Count)
+	}
+}
+
+// The merged tail exemplar must be the slowest exemplar-carrying
+// request across every input — that is what "show me the trace behind
+// the cluster p99" resolves through.
+func TestHistogramMergeExemplarRetentionPicksSlowest(t *testing.T) {
+	fast, slow := NewHistogram(nil), NewHistogram(nil)
+	fast.ObserveExemplar(int64(2*time.Millisecond), 101)
+	slow.ObserveExemplar(int64(2*time.Second), 202)
+
+	for _, dir := range []struct {
+		name string
+		a, b *Histogram
+	}{{"fast.Merge(slow)", fast, slow}, {"slow.Merge(fast)", slow, fast}} {
+		m, err := dir.a.Snapshot().Merge(dir.b.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, id := m.TailExemplar(); id != 202 {
+			t.Fatalf("%s: tail exemplar = %d, want the slow side's 202", dir.name, id)
+		}
+	}
+
+	// Same bucket on both sides: either side's exemplar is acceptable,
+	// but one must survive.
+	other := NewHistogram(nil)
+	other.ObserveExemplar(int64(time.Millisecond), 303)
+	m, err := fast.Snapshot().Merge(other.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, id := m.TailExemplar(); id == 0 {
+		t.Fatal("merge dropped all exemplars")
+	}
+}
+
+func TestHistogramMergeBoundsMismatchTypedError(t *testing.T) {
+	a := NewHistogram([]int64{1, 10, 100})
+	b := NewHistogram([]int64{1, 10, 100, 1000})
+	a.Observe(5)
+	b.Observe(5)
+	_, err := a.Snapshot().Merge(b.Snapshot())
+	var bm *BoundsMismatchError
+	if !errors.As(err, &bm) {
+		t.Fatalf("merge error = %v, want *BoundsMismatchError", err)
+	}
+	if len(bm.A) != 3 || len(bm.B) != 4 {
+		t.Fatalf("error bounds = %d vs %d, want 3 vs 4", len(bm.A), len(bm.B))
+	}
+
+	// Registry-level merge names the offending metric.
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("h", []int64{1, 10}).Observe(5)
+	rb.Histogram("h", []int64{1, 10, 100}).Observe(5)
+	_, err = ra.Snapshot().Merge(rb.Snapshot())
+	if !errors.As(err, &bm) || bm.Metric != "h" {
+		t.Fatalf("registry merge error = %v, want BoundsMismatchError naming h", err)
+	}
+}
+
+func TestHistogramSubWindowsDeltas(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(int64(time.Millisecond))
+	before := h.Snapshot()
+	h.Observe(int64(time.Second))
+	h.Observe(int64(time.Second))
+	after := h.Snapshot()
+
+	d, err := after.Sub(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 2 || d.Sum != int64(2*time.Second) {
+		t.Fatalf("window delta count=%d sum=%d, want 2 and 2s", d.Count, d.Sum)
+	}
+	if p99 := d.P99(); p99 < int64(time.Second) {
+		t.Fatalf("window p99 = %d, still diluted by pre-window traffic", p99)
+	}
+	// A counter reset (restarted replica) clamps to an empty window.
+	z, err := before.Sub(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Count != 0 || z.Sum != 0 {
+		t.Fatalf("reset window = count %d sum %d, want clamped to 0", z.Count, z.Sum)
+	}
+	if _, err := after.Sub(NewHistogram([]int64{1}).Snapshot()); err == nil {
+		t.Fatal("Sub accepted mismatched bounds")
+	}
+}
+
+func TestSnapshotMergeSumsAndCarriesDisjoint(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("shared").Add(3)
+	b.Counter("shared").Add(4)
+	a.Counter("only_a").Add(1)
+	b.Counter("only_b").Add(2)
+	a.Gauge("g").Set(10)
+	b.Gauge("g").Set(5)
+	a.Histogram("lat", nil).Observe(100)
+	b.Histogram("lat", nil).Observe(200)
+
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["shared"] != 7 || m.Counters["only_a"] != 1 || m.Counters["only_b"] != 2 {
+		t.Fatalf("merged counters = %v", m.Counters)
+	}
+	if m.Gauges["g"] != 15 {
+		t.Fatalf("merged gauge = %d, want 15", m.Gauges["g"])
+	}
+	if m.Histograms["lat"].Count != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", m.Histograms["lat"].Count)
+	}
+
+	all, err := MergeAll(a.Snapshot(), b.Snapshot(), Snapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Counters["shared"] != 7 {
+		t.Fatalf("MergeAll counters = %v", all.Counters)
+	}
+}
+
+// The federation wire format: a /metrics.json scrape must decode back
+// into a Snapshot that merges exactly like the in-process original.
+func TestJSONHandlerRoundTripsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(9)
+	r.Gauge("busy").Set(2)
+	r.Histogram("lat", nil).ObserveExemplar(int64(50*time.Millisecond), 77)
+
+	rec := httptest.NewRecorder()
+	r.JSONHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["reqs"] != 9 || got.Gauges["busy"] != 2 {
+		t.Fatalf("round-trip lost counters/gauges: %v %v", got.Counters, got.Gauges)
+	}
+	h := got.Histograms["lat"]
+	if h.Count != 1 || h.Sum != int64(50*time.Millisecond) {
+		t.Fatalf("round-trip lost histogram: %+v", h)
+	}
+	if _, id := h.TailExemplar(); id != 77 {
+		t.Fatalf("round-trip lost exemplar: %d", id)
+	}
+	if _, err := got.Histograms["lat"].Merge(r.Snapshot().Histograms["lat"]); err != nil {
+		t.Fatalf("round-tripped snapshot no longer merges: %v", err)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"snode/internal/query"
 	"snode/internal/serve"
 	"snode/internal/shard"
+	"snode/internal/slo"
 	"snode/internal/trace"
 	"snode/internal/webgraph"
 )
@@ -71,18 +72,51 @@ type Config struct {
 	// (default 500ms; <0 disables the prober — tests drive Probe
 	// directly).
 	ProbeInterval time.Duration
-	// Registry, when set, receives the router_* counters.
+	// Registry, when set, receives the router_* counters, the per-class
+	// end-to-end latency histograms router_latency_nav /
+	// router_latency_mining (p99-side buckets carry exemplars naming
+	// stitched distributed traces), and backs the /metrics,
+	// /metrics.json, and /slo endpoints Register mounts.
 	Registry *metrics.Registry
 	// Tracer, when set, samples routed requests: the fan-out and merge
-	// become router.fanout / router.merge spans.
+	// become router.fanout / router.merge spans, every fan-out leg of a
+	// sampled request carries the X-SNode-Trace header so shards
+	// force-trace it, and the shards' completed span subtrees are
+	// fetched back and stitched into one distributed trace, served at
+	// /debug/traces (Register mounts it). Untraced requests add no
+	// header and no allocations to the fan-out.
 	Tracer *trace.Tracer
+	// SLO configures the scoreboard behind /slo (requires Registry;
+	// zero-valued fields take the documented defaults).
+	SLO SLOConfig
 }
 
-// replica is one backend URL plus its health state.
+// SLOConfig is the router's serving objectives for the /slo
+// scoreboard, evaluated over the router's own per-class counters and
+// latency histograms (the client-facing view of the whole tier).
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 60s).
+	Window time.Duration
+	// Availability is the per-class availability target (default
+	// 0.999): sheds and 5xx legs count against it.
+	Availability float64
+	// NavP99 / MiningP99 are the per-class p99 latency targets
+	// (defaults 150ms nav, 1s mining).
+	NavP99    time.Duration
+	MiningP99 time.Duration
+}
+
+// replica is one backend URL plus its health state and the federation
+// scrape cache: the last successful /metrics.json snapshot, served
+// with a staleness mark when the replica stops answering.
 type replica struct {
 	url     string
 	fails   atomic.Int32
 	healthy atomic.Bool
+
+	scrapeMu sync.Mutex
+	lastSnap *metrics.Snapshot
+	lastAt   time.Time
 }
 
 // shardSet is one shard's replicas with a round-robin cursor.
@@ -124,11 +158,19 @@ type Router struct {
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
 
+	reg   *metrics.Registry
+	board *slo.Scoreboard
+
 	navRequests, miningRequests *metrics.Counter
 	failovers, fanoutErrors     *metrics.Counter
 	shedTotal                   *metrics.Counter
+	navShed, miningShed         *metrics.Counter
+	navErrors, miningErrors     *metrics.Counter
 	ejections, readmissions     *metrics.Counter
 	versionSkew                 *metrics.Counter
+	stitched, stitchErrors      *metrics.Counter
+
+	navLatency, miningLatency *metrics.Histogram
 }
 
 // New builds a router and, unless ProbeInterval < 0, starts its
@@ -178,14 +220,27 @@ func New(cfg Config) (*Router, error) {
 		r.shards = append(r.shards, set)
 	}
 	if reg := cfg.Registry; reg != nil {
+		r.reg = reg
 		r.navRequests = reg.Counter("router_nav_requests")
 		r.miningRequests = reg.Counter("router_mining_requests")
 		r.failovers = reg.Counter("router_failovers")
 		r.fanoutErrors = reg.Counter("router_fanout_errors")
 		r.shedTotal = reg.Counter("router_shed")
+		r.navShed = reg.Counter("router_nav_shed")
+		r.miningShed = reg.Counter("router_mining_shed")
+		r.navErrors = reg.Counter("router_nav_errors")
+		r.miningErrors = reg.Counter("router_mining_errors")
 		r.ejections = reg.Counter("router_replica_ejected")
 		r.readmissions = reg.Counter("router_replica_readmitted")
 		r.versionSkew = reg.Counter("router_version_skew")
+		r.stitched = reg.Counter("router_traces_stitched")
+		r.stitchErrors = reg.Counter("router_stitch_errors")
+		r.navLatency = reg.Histogram("router_latency_nav", nil)
+		r.miningLatency = reg.Histogram("router_latency_mining", nil)
+		r.board = slo.New(slo.Config{
+			Window:     cfg.SLO.Window,
+			Objectives: sloObjectives(cfg.SLO),
+		})
 	}
 	if cfg.ProbeInterval > 0 {
 		r.probeWG.Add(1)
@@ -200,7 +255,47 @@ func (r *Router) Close() {
 	r.probeWG.Wait()
 }
 
-// Register mounts the routed endpoints on mux.
+// sloObjectives maps the router's SLO config onto its own metric
+// names: the router is the client-facing front, so its counters and
+// latency histograms ARE the tier's service level.
+func sloObjectives(cfg SLOConfig) []slo.Objective {
+	if cfg.Availability <= 0 || cfg.Availability >= 1 {
+		cfg.Availability = 0.999
+	}
+	if cfg.NavP99 <= 0 {
+		cfg.NavP99 = 150 * time.Millisecond
+	}
+	if cfg.MiningP99 <= 0 {
+		cfg.MiningP99 = time.Second
+	}
+	return []slo.Objective{
+		{
+			Class:        "nav",
+			TotalCounter: "router_nav_requests",
+			BadCounters:  []string{"router_nav_shed", "router_nav_errors"},
+			LatencyHist:  "router_latency_nav",
+			Availability: cfg.Availability,
+			P99:          cfg.NavP99,
+		},
+		{
+			Class:        "mining",
+			TotalCounter: "router_mining_requests",
+			BadCounters:  []string{"router_mining_shed", "router_mining_errors"},
+			LatencyHist:  "router_latency_mining",
+			Availability: cfg.Availability,
+			P99:          cfg.MiningP99,
+		},
+	}
+}
+
+// Scoreboard exposes the SLO scoreboard (nil without a Registry) so
+// the load harness can sample it in-process.
+func (r *Router) Scoreboard() *slo.Scoreboard { return r.board }
+
+// Register mounts the routed endpoints on mux, plus the observability
+// surface the router owns: /cluster/metrics always; /metrics,
+// /metrics.json, and /slo when a Registry is configured; /debug/traces
+// when a Tracer is configured.
 func (r *Router) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/out", r.handleOut)
 	mux.HandleFunc("/query", r.handleQuery)
@@ -208,6 +303,15 @@ func (r *Router) Register(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ready"}`)
 	})
+	mux.HandleFunc("/cluster/metrics", r.handleClusterMetrics)
+	if r.reg != nil {
+		mux.Handle("/metrics", r.reg.Handler())
+		mux.Handle("/metrics.json", r.reg.JSONHandler())
+		mux.Handle("/slo", slo.Handler(r.board, func() metrics.Snapshot { return r.reg.Snapshot() }))
+	}
+	if r.tracer != nil {
+		mux.Handle("/debug/traces", trace.Handler(r.tracer))
+	}
 }
 
 // Handler returns a standalone handler serving the routed endpoints.
@@ -292,17 +396,44 @@ type shedInfo struct {
 }
 
 // legResult is one shard leg's outcome: exactly one of body, shed, or
-// err is meaningful.
+// err is meaningful. traceID and replicaURL identify the answering
+// replica's force-sampled trace (zero/empty when the request was
+// untraced or the shard kept no trace), for post-response stitching.
 type legResult struct {
-	body []byte
-	shed *shedInfo
-	err  error
+	body       []byte
+	shed       *shedInfo
+	err        error
+	traceID    uint64
+	replicaURL string
+}
+
+// injectTrace adds the cross-process propagation header to a fan-out
+// leg. With no sampled router trace (hdr == "") it is a no-op that
+// allocates nothing — the zero-alloc contract of the untraced path,
+// asserted by TestCrossProcessUntracedZeroAlloc.
+func injectTrace(req *http.Request, hdr string) {
+	if hdr != "" {
+		req.Header.Set(trace.HeaderTrace, hdr)
+	}
+}
+
+// remoteTraceID reads the shard's trace-ID response header (0 when the
+// leg was untraced; no parse work on the untraced path).
+func remoteTraceID(resp *http.Response) uint64 {
+	v := resp.Header.Get(trace.HeaderTraceID)
+	if v == "" {
+		return 0
+	}
+	id, _ := strconv.ParseUint(v, 10, 64)
+	return id
 }
 
 // fetch runs one leg against shard s with replica failover: network
 // errors, 5xx, and version skew try the next replica (recording the
 // failure); a 2xx or 429 is a live replica's answer and heals it.
-func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
+// traceHdr, when non-empty, is propagated so the shard force-samples
+// the leg.
+func (r *Router) fetch(ctx context.Context, s int, pathQuery, traceHdr string) legResult {
 	var lastErr error
 	for i, rep := range r.shards[s].candidates() {
 		if i > 0 {
@@ -314,6 +445,7 @@ func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
 			cancel()
 			return legResult{err: err}
 		}
+		injectTrace(req, traceHdr)
 		resp, err := r.client.Do(req)
 		if err != nil {
 			cancel()
@@ -350,7 +482,13 @@ func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
 					ra = time.Duration(secs) * time.Second
 				}
 			}
-			return legResult{shed: &shedInfo{retryAfter: ra, body: body}}
+			// Shed legs are traced too: admission rejections are exactly
+			// the requests worth a distributed look.
+			return legResult{
+				shed:       &shedInfo{retryAfter: ra, body: body},
+				traceID:    remoteTraceID(resp),
+				replicaURL: rep.url,
+			}
 		case resp.StatusCode >= 500:
 			r.markFailed(rep)
 			lastErr = fmt.Errorf("shard %d replica %s: status %d", s, rep.url, resp.StatusCode)
@@ -362,7 +500,7 @@ func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
 			return legResult{err: fmt.Errorf("shard %d: status %d: %s", s, resp.StatusCode, body)}
 		}
 		r.markOK(rep)
-		return legResult{body: body}
+		return legResult{body: body, traceID: remoteTraceID(resp), replicaURL: rep.url}
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("shard %d: no replicas", s)
@@ -371,13 +509,64 @@ func (r *Router) fetch(ctx context.Context, s int, pathQuery string) legResult {
 	return legResult{err: fmt.Errorf("shard %d: all replicas failed: %w", s, lastErr)}
 }
 
-// writeShed relays an aggregated 429.
-func (r *Router) writeShed(w http.ResponseWriter, sh *shedInfo) {
+// writeShed relays an aggregated 429, charged to the class's error
+// budget (the /slo scoreboard reads the per-class shed counters).
+func (r *Router) writeShed(w http.ResponseWriter, class string, sh *shedInfo) {
 	inc(r.shedTotal)
+	switch class {
+	case "nav":
+		inc(r.navShed)
+	case "mining":
+		inc(r.miningShed)
+	}
 	w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(sh.retryAfter.Seconds())), 10))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
 	w.Write(sh.body)
+}
+
+// stitchLeg fetches one leg's completed span subtree from the replica
+// that answered it and attaches it to the router trace. Called after
+// the router span tree is finished and before the response is written,
+// so an exported router trace is always fully stitched. The fetch uses
+// its own context: the stitch must survive the routed request's
+// deadline (the data exists, the budget was for the answer).
+func (r *Router) stitchLeg(root *trace.Trace, s int, leg legResult) {
+	if root == nil || leg.traceID == 0 || leg.replicaURL == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/debug/traces?id=%d", leg.replicaURL, leg.traceID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		inc(r.stitchErrors)
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		inc(r.stitchErrors)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		inc(r.stitchErrors)
+		return
+	}
+	var tj trace.TraceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&tj); err != nil {
+		inc(r.stitchErrors)
+		return
+	}
+	root.AttachRemote(trace.Remote{
+		Label:    fmt.Sprintf("shard%d %s", s, leg.replicaURL),
+		TraceID:  tj.ID,
+		Start:    tj.Start,
+		Root:     tj.Root,
+		Counters: tj.Counters,
+	})
+	inc(r.stitched)
 }
 
 // passthroughQuery forwards the client's deadline to the shard legs.
@@ -388,20 +577,59 @@ func passthroughQuery(req *http.Request, base string) string {
 	return base
 }
 
+// startTraced begins a routed request's observation: the sampled
+// router trace (when the tracer's rotation picks this request), the
+// propagation header value for its fan-out legs, and a done func that
+// freezes the end-to-end duration and finishes the trace. done is
+// idempotent; callers invoke it explicitly before writing the response
+// (so the exported trace never shows an open root and stitching
+// happens post-finish, pre-write) and rely on the deferred call only
+// as a backstop on early returns.
+func (r *Router) startTraced(w http.ResponseWriter, req *http.Request, class string) (ctx context.Context, root *trace.Trace, hdr string, done func() time.Duration) {
+	start := time.Now()
+	ctx = req.Context()
+	var tr *trace.Trace
+	if r.tracer != nil {
+		ctx, tr = r.tracer.StartRequest(ctx, class)
+	}
+	root = tr
+	if root != nil {
+		hdr = trace.FormatHeader(root.ID, true)
+		// Name the stitched trace in the response so a slow request is
+		// one header read away from its distributed breakdown.
+		w.Header().Set(trace.HeaderTraceID, strconv.FormatUint(root.ID, 10))
+	}
+	var dur time.Duration
+	done = func() time.Duration {
+		if dur == 0 {
+			dur = time.Since(start)
+		}
+		if tr != nil {
+			r.tracer.Finish(tr)
+			tr = nil
+		}
+		return dur
+	}
+	return ctx, root, hdr, done
+}
+
+// observe records one finished request into the class latency
+// histogram, carrying the stitched trace's ID as the exemplar so a
+// p99 outlier bucket names a fetchable distributed trace.
+func observe(h *metrics.Histogram, dur time.Duration, root *trace.Trace) {
+	if h == nil {
+		return
+	}
+	var ex uint64
+	if root != nil {
+		ex = root.ID
+	}
+	h.ObserveExemplar(int64(dur), ex)
+}
+
 // handleOut routes the navigation class: one shard leg plus the
 // router-resident boundary overlay.
 func (r *Router) handleOut(w http.ResponseWriter, req *http.Request) {
-	inc(r.navRequests)
-	ctx := req.Context()
-	var tr *trace.Trace
-	if r.tracer != nil {
-		ctx, tr = r.tracer.StartRequest(ctx, "router.nav")
-		defer func() {
-			if tr != nil {
-				r.tracer.Finish(tr)
-			}
-		}()
-	}
 	raw := req.URL.Query().Get("page")
 	page, err := strconv.ParseInt(raw, 10, 32)
 	if err != nil || page < 0 {
@@ -413,19 +641,29 @@ func (r *Router) handleOut(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, fmt.Sprintf("page %d not in corpus (%d pages)", page, r.manifest.NumPages), http.StatusNotFound)
 		return
 	}
+	inc(r.navRequests)
+	ctx, root, hdr, done := r.startTraced(w, req, "router.nav")
+	defer func() { observe(r.navLatency, done(), root) }()
+
 	fanCtx, sp := trace.Start(ctx, "router.fanout")
-	leg := r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/out?page=%d", page)))
+	leg := r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/out?page=%d", page)), hdr)
 	sp.End()
 	switch {
 	case leg.shed != nil:
-		r.writeShed(w, leg.shed)
+		done()
+		r.stitchLeg(root, s, leg)
+		r.writeShed(w, "nav", leg.shed)
 		return
 	case leg.err != nil:
+		inc(r.navErrors)
+		done()
 		http.Error(w, leg.err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	var out serve.OutResponse
 	if err := json.Unmarshal(leg.body, &out); err != nil {
+		inc(r.navErrors)
+		done()
 		http.Error(w, fmt.Sprintf("shard %d: bad /out body: %v", s, err), http.StatusBadGateway)
 		return
 	}
@@ -436,6 +674,8 @@ func (r *Router) handleOut(w http.ResponseWriter, req *http.Request) {
 	if out.Neighbors == nil {
 		out.Neighbors = []webgraph.PageID{}
 	}
+	done()
+	r.stitchLeg(root, s, leg)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 }
@@ -443,23 +683,16 @@ func (r *Router) handleOut(w http.ResponseWriter, req *http.Request) {
 // handleQuery routes the mining class: scatter ?partial=1 to every
 // shard, gather, merge.
 func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
-	inc(r.miningRequests)
-	ctx := req.Context()
-	var tr *trace.Trace
-	if r.tracer != nil {
-		ctx, tr = r.tracer.StartRequest(ctx, "router.mining")
-		defer func() {
-			if tr != nil {
-				r.tracer.Finish(tr)
-			}
-		}()
-	}
 	raw := req.URL.Query().Get("q")
 	qn, err := strconv.Atoi(raw)
 	if err != nil || qn < int(query.Q1) || qn > int(query.Q6) {
 		http.Error(w, fmt.Sprintf("bad q %q (want 1..6)", raw), http.StatusBadRequest)
 		return
 	}
+	inc(r.miningRequests)
+	ctx, root, hdr, done := r.startTraced(w, req, "router.mining")
+	defer func() { observe(r.miningLatency, done(), root) }()
+
 	k := r.manifest.NumShards
 	legs := make([]legResult, k)
 	fanCtx, sp := trace.Start(ctx, "router.fanout")
@@ -468,11 +701,16 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			legs[s] = r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/query?q=%d&partial=1", qn)))
+			legs[s] = r.fetch(fanCtx, s, passthroughQuery(req, fmt.Sprintf("/query?q=%d&partial=1", qn)), hdr)
 		}(s)
 	}
 	wg.Wait()
 	sp.End()
+	stitchAll := func() {
+		for s, leg := range legs {
+			r.stitchLeg(root, s, leg)
+		}
+	}
 
 	// One shed leg sheds the whole request: a partial merge would be
 	// silently wrong. Retry-After aggregates as the max, so the client
@@ -484,11 +722,16 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	if shed != nil {
-		r.writeShed(w, shed)
+		done()
+		stitchAll()
+		r.writeShed(w, "mining", shed)
 		return
 	}
 	for s, leg := range legs {
 		if leg.err != nil {
+			inc(r.miningErrors)
+			done()
+			stitchAll()
 			http.Error(w, fmt.Sprintf("shard %d unavailable: %v", s, leg.err), http.StatusServiceUnavailable)
 			return
 		}
@@ -498,6 +741,8 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	for s, leg := range legs {
 		var pr serve.PartialQueryResponse
 		if err := json.Unmarshal(leg.body, &pr); err != nil {
+			inc(r.miningErrors)
+			done()
 			http.Error(w, fmt.Sprintf("shard %d: bad partial body: %v", s, err), http.StatusBadGateway)
 			return
 		}
@@ -514,6 +759,8 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if rows == nil {
 		rows = []query.Row{}
 	}
+	done()
+	stitchAll()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(serve.QueryResponse{Query: qn, Rows: rows, NavMS: navMS})
 }

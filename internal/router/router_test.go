@@ -20,6 +20,7 @@ import (
 	"snode/internal/shard"
 	"snode/internal/snode"
 	"snode/internal/synth"
+	"snode/internal/trace"
 	"snode/internal/webgraph"
 )
 
@@ -72,13 +73,18 @@ func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // world is a running K-shard serving tier: opened shards, one serve
-// stack per replica, and the router config pieces.
+// stack per replica, and the router config pieces. Every replica gets
+// its own metrics registry (scraped by /cluster/metrics) and a
+// SampleEvery=0 tracer — local sampling off, so any trace a replica
+// keeps was forced by the router's sampled bit.
 type world struct {
 	manifest   *shard.Manifest
 	boundaries []*shard.Boundary
 	replicas   [][]string        // URLs fed to the router
 	flaky      map[string]*flaky // URL → kill switch
 	servers    map[string]*httptest.Server
+	regs       map[string]*metrics.Registry
+	tracers    map[string]*trace.Tracer
 }
 
 // startWorld opens every shard under root and starts `perShard` replica
@@ -98,6 +104,8 @@ func startWorld(t *testing.T, root string, k, perShard int) *world {
 		boundaries: bs,
 		flaky:      map[string]*flaky{},
 		servers:    map[string]*httptest.Server{},
+		regs:       map[string]*metrics.Registry{},
+		tracers:    map[string]*trace.Tracer{},
 	}
 	for s := 0; s < k; s++ {
 		sh, err := shard.OpenServing(root, s, 16<<20, iosim.Model2002())
@@ -116,16 +124,22 @@ func startWorld(t *testing.T, root string, k, perShard int) *world {
 		}
 		var urls []string
 		for rep := 0; rep < perShard; rep++ {
+			rreg := metrics.NewRegistry()
+			rtr := trace.New(trace.Config{SampleEvery: 0})
 			qs, err := serve.New(serve.Config{
 				Engine:    eng,
 				NavEngine: nav,
 				Shard:     &serve.ShardInfo{ID: s, Count: k, Version: m.Version},
+				Registry:  rreg,
+				Tracer:    rtr,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			mux := http.NewServeMux()
 			qs.Register(mux)
+			mux.Handle("/metrics.json", rreg.JSONHandler())
+			mux.Handle("/debug/traces", trace.Handler(rtr))
 			mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 				fmt.Fprintln(rw, `{"status":"ready"}`)
 			})
@@ -135,6 +149,8 @@ func startWorld(t *testing.T, root string, k, perShard int) *world {
 			urls = append(urls, ts.URL)
 			w.flaky[ts.URL] = f
 			w.servers[ts.URL] = ts
+			w.regs[ts.URL] = rreg
+			w.tracers[ts.URL] = rtr
 		}
 		w.replicas = append(w.replicas, urls)
 	}

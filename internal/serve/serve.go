@@ -34,6 +34,7 @@ import (
 	"snode/internal/admission"
 	"snode/internal/metrics"
 	"snode/internal/query"
+	"snode/internal/trace"
 	"snode/internal/webgraph"
 )
 
@@ -88,6 +89,16 @@ type Config struct {
 	// counters under "admission_*" and per-class end-to-end latency
 	// histograms serve_latency_nav / serve_latency_mining.
 	Registry *metrics.Registry
+	// Tracer, when set, honors cross-process trace propagation: a
+	// request carrying a sampled X-SNode-Trace header (a routed leg
+	// whose router-side trace was sampled) is force-traced under this
+	// tracer regardless of its SampleEvery — including SampleEvery 0 —
+	// without consuming a slot in its 1-in-N rotation. The completed
+	// local trace's ID is returned in the X-SNode-Trace-Id response
+	// header so the router can fetch the span subtree from this
+	// process's /debug/traces export and stitch it. Requests without
+	// the header read one absent header and allocate nothing.
+	Tracer *trace.Tracer
 }
 
 // Server handles the query endpoints. Safe for concurrent use.
@@ -98,6 +109,7 @@ type Server struct {
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	shard           *ShardInfo
+	tracer          *trace.Tracer
 
 	navHist    *metrics.Histogram // end-to-end admitted-request latency
 	miningHist *metrics.Histogram
@@ -127,6 +139,7 @@ func New(cfg Config) (*Server, error) {
 		defaultDeadline: cfg.DefaultDeadline,
 		maxDeadline:     cfg.MaxDeadline,
 		shard:           cfg.Shard,
+		tracer:          cfg.Tracer,
 	}
 	s.navEng = s.eng
 	if cfg.NavEngine != nil {
@@ -190,6 +203,39 @@ func (s *Server) deadlineCtx(r *http.Request) (context.Context, context.CancelFu
 	}
 	ctx, cancel := context.WithTimeout(ctx, d)
 	return ctx, cancel, nil
+}
+
+// startRemote honors cross-process trace propagation: when the request
+// carries a sampled X-SNode-Trace header and a tracer is configured,
+// the request is force-traced (trace.Tracer.StartLinked — no local
+// sampling decision, no rotation slot consumed). The common untraced
+// case is one canonical header lookup and a length check: no
+// allocations (check-overhead pins this).
+func (s *Server) startRemote(ctx context.Context, r *http.Request, class string) (context.Context, *trace.Trace) {
+	if s.tracer == nil {
+		return ctx, nil
+	}
+	parent, sampled, ok := trace.ParseHeader(r.Header.Get(trace.HeaderTrace))
+	if !ok || !sampled {
+		return ctx, nil
+	}
+	return s.tracer.StartLinked(ctx, class, parent)
+}
+
+// finishRemote completes a force-sampled trace and points the caller
+// at it: the response header carries the local trace ID, fetchable at
+// this process's /debug/traces?id=N while retained. Must run before
+// the response status is written (headers freeze at WriteHeader);
+// callers invoke it at every exit and keep a deferred call as a
+// backstop so the trace is finished even on a panic-recovered path.
+// Idempotent via the cleared pointer.
+func (s *Server) finishRemote(w http.ResponseWriter, forced **trace.Trace) {
+	if *forced == nil {
+		return
+	}
+	s.tracer.Finish(*forced)
+	w.Header().Set(trace.HeaderTraceID, strconv.FormatUint((*forced).ID, 10))
+	*forced = nil
 }
 
 // shedResponse is the 429 body.
@@ -263,14 +309,23 @@ func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx, forced := s.startRemote(ctx, r, ClassNav)
+	defer s.finishRemote(w, &forced)
 	acqStart := time.Now()
 	release, err := s.ctrl.Acquire(ctx, ClassNav)
 	if err != nil {
+		s.finishRemote(w, &forced)
 		s.writeShed(w, ClassNav, err)
 		return
 	}
 	wait := time.Since(acqStart)
 	defer release()
+	if trace.Active(ctx) {
+		// The forced trace is open across the admission wait, so the
+		// stitched subtree shows queueing as its own span (engine-
+		// sampled traces start later and get only the root attribute).
+		trace.RecordSpan(ctx, "serve.admission", acqStart, wait)
+	}
 	if s.navHist != nil {
 		// Every admitted request observes its end-to-end latency, not
 		// just the ones that complete: a request shed mid-query or
@@ -279,12 +334,16 @@ func (s *Server) handleOut(w http.ResponseWriter, r *http.Request) {
 		defer func() { s.navHist.ObserveDuration(time.Since(start)) }()
 	}
 	neighbors, tr, err := s.navEng.Neighbors(ctx, webgraph.PageID(page))
+	if tr == nil {
+		tr = forced // cross-process trace: the engine composed into it
+	}
 	if tr != nil {
 		// The trace starts inside the engine, after the admission wait
 		// has already elapsed; attribute it on the root after the fact
 		// (same idiom as RunParallel's queue_wait_ns).
 		tr.SetAttr("admission_wait_ns", int64(wait))
 	}
+	s.finishRemote(w, &forced)
 	if err != nil {
 		if isShed(err) {
 			s.writeShed(w, ClassNav, err)
@@ -336,27 +395,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx, forced := s.startRemote(ctx, r, ClassMining)
+	defer s.finishRemote(w, &forced)
 	acqStart := time.Now()
 	release, err := s.ctrl.Acquire(ctx, ClassMining)
 	if err != nil {
+		s.finishRemote(w, &forced)
 		s.writeShed(w, ClassMining, err)
 		return
 	}
 	wait := time.Since(acqStart)
 	defer release()
+	if trace.Active(ctx) {
+		trace.RecordSpan(ctx, "serve.admission", acqStart, wait)
+	}
+	if forced != nil {
+		forced.SetAttr("admission_wait_ns", int64(wait))
+	}
 	if s.miningHist != nil {
 		// See handleOut: every admitted request observes latency,
 		// whether it completes, errors, or is shed mid-query.
 		defer func() { s.miningHist.ObserveDuration(time.Since(start)) }()
 	}
 	if partial {
-		s.servePartial(ctx, w, query.ID(qn))
+		s.servePartial(ctx, w, query.ID(qn), &forced)
 		return
 	}
 	res, err := s.eng.Run(ctx, query.ID(qn))
 	if err == nil && res.Trace != nil {
 		res.Trace.SetAttr("admission_wait_ns", int64(wait))
 	}
+	s.finishRemote(w, &forced)
 	if err != nil {
 		if isShed(err) {
 			s.writeShed(w, ClassMining, err)
@@ -378,8 +447,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // servePartial answers one scatter leg of a routed mining query.
-func (s *Server) servePartial(ctx context.Context, w http.ResponseWriter, q query.ID) {
+func (s *Server) servePartial(ctx context.Context, w http.ResponseWriter, q query.ID, forced **trace.Trace) {
 	res, err := s.eng.RunPartial(ctx, q)
+	s.finishRemote(w, forced)
 	if err != nil {
 		if isShed(err) {
 			s.writeShed(w, ClassMining, err)

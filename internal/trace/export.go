@@ -32,24 +32,31 @@ type SpanJSON struct {
 
 // TraceJSON is the /debug/traces detail form of a trace.
 type TraceJSON struct {
-	ID       uint64           `json:"id"`
-	Class    string           `json:"class"`
+	ID    uint64 `json:"id"`
+	Class string `json:"class"`
+	// ParentID names the remote parent trace when this trace was
+	// force-sampled as one leg of a routed request.
+	ParentID uint64           `json:"parent_id,omitempty"`
 	Start    time.Time        `json:"start"`
 	TotalNs  int64            `json:"total_ns"`
 	Dropped  int64            `json:"dropped_spans,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Root     *SpanJSON        `json:"root"`
+	// Remotes are stitched per-shard subtrees (router traces only).
+	Remotes []Remote `json:"remotes,omitempty"`
 }
 
 // Summary is the /debug/traces list form of a trace.
 type Summary struct {
-	ID      uint64    `json:"id"`
-	Class   string    `json:"class"`
-	Start   time.Time `json:"start"`
-	TotalNs int64     `json:"total_ns"`
-	Spans   int       `json:"spans"`
-	Seeks   int64     `json:"seeks"`
-	Decodes int64     `json:"decodes"`
+	ID       uint64    `json:"id"`
+	Class    string    `json:"class"`
+	ParentID uint64    `json:"parent_id,omitempty"`
+	Start    time.Time `json:"start"`
+	TotalNs  int64     `json:"total_ns"`
+	Spans    int       `json:"spans"`
+	Remotes  int       `json:"remotes,omitempty"`
+	Seeks    int64     `json:"seeks"`
+	Decodes  int64     `json:"decodes"`
 }
 
 // Summary returns the trace's list-view digest.
@@ -57,10 +64,12 @@ func (t *Trace) Summary() Summary {
 	t.mu.Lock()
 	n := len(t.spans)
 	total := t.total
+	nr := len(t.remotes)
 	t.mu.Unlock()
 	return Summary{
-		ID: t.ID, Class: t.Class, Start: t.Start, TotalNs: int64(total),
-		Spans: n, Seeks: t.Counter(CtrSeeks), Decodes: t.Counter(CtrDecodes),
+		ID: t.ID, Class: t.Class, ParentID: t.ParentID, Start: t.Start,
+		TotalNs: int64(total), Spans: n, Remotes: nr,
+		Seeks: t.Counter(CtrSeeks), Decodes: t.Counter(CtrDecodes),
 	}
 }
 
@@ -104,9 +113,9 @@ func (t *Trace) JSON() TraceJSON {
 		}
 	}
 	return TraceJSON{
-		ID: t.ID, Class: t.Class, Start: t.Start,
+		ID: t.ID, Class: t.Class, ParentID: t.ParentID, Start: t.Start,
 		TotalNs: int64(t.Total()), Dropped: dropped,
-		Counters: ctrs, Root: nodes[0],
+		Counters: ctrs, Root: nodes[0], Remotes: t.Remotes(),
 	}
 }
 
@@ -153,24 +162,94 @@ func (t *Trace) Render(w io.Writer) {
 		}
 	}
 	io.WriteString(w, "\n")
+	for _, rm := range t.Remotes() {
+		fmt.Fprintf(w, "remote %s (trace %d, +%v after router start)\n",
+			rm.Label, rm.TraceID, rm.Start.Sub(t.Start).Round(time.Microsecond))
+		renderSpanJSON(w, rm.Root, 1)
+	}
+}
+
+// renderSpanJSON renders an exported (remote) span subtree with the
+// same layout Render uses for local spans.
+func renderSpanJSON(w io.Writer, s *SpanJSON, depth int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	fmt.Fprintf(w, "%-20s +%-12v %v", s.Name,
+		time.Duration(s.StartNs).Round(time.Microsecond),
+		time.Duration(s.DurNs).Round(time.Microsecond))
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%d", k, s.Attrs[k])
+	}
+	io.WriteString(w, "\n")
+	for _, c := range s.Children {
+		renderSpanJSON(w, c, depth+1)
+	}
 }
 
 // chromeEvent is one trace_event record. Timestamps and durations are
-// microseconds, the unit chrome://tracing expects.
+// microseconds, the unit chrome://tracing expects. Args is either a
+// span's numeric attribute map or, for "M" metadata events, the string
+// map chrome expects (e.g. {"name": "shard1 ..."}).
 type chromeEvent struct {
-	Name string           `json:"name"`
-	Ph   string           `json:"ph"`
-	Ts   float64          `json:"ts"`
-	Dur  float64          `json:"dur"`
-	Pid  uint64           `json:"pid"`
-	Tid  int              `json:"tid"`
-	Args map[string]int64 `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  uint64  `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// chromeSpanEvents flattens an exported span subtree into "X" events
+// in one pid lane. base is the owning trace's start in microseconds.
+func chromeSpanEvents(events []chromeEvent, s *SpanJSON, base float64, pid uint64, depth int) []chromeEvent {
+	if s == nil {
+		return events
+	}
+	var args any
+	if len(s.Attrs) > 0 {
+		args = s.Attrs
+	}
+	events = append(events, chromeEvent{
+		Name: s.Name,
+		Ph:   "X",
+		Ts:   base + float64(s.StartNs)/1e3,
+		Dur:  float64(s.DurNs) / 1e3,
+		Pid:  pid,
+		Tid:  depth,
+		Args: args,
+	})
+	for _, c := range s.Children {
+		events = chromeSpanEvents(events, c, base, pid, depth+1)
+	}
+	return events
+}
+
+// processName emits the "M" metadata event that labels a pid lane.
+func processName(pid uint64, name string) chromeEvent {
+	return chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name},
+	}
 }
 
 // WriteChromeTrace writes the traces as Chrome trace_event JSON
 // ({"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
 // Each trace gets its own pid lane; span depth maps to tid so sibling
-// spans from concurrent goroutines stay visually separated.
+// spans from concurrent goroutines stay visually separated. A stitched
+// distributed trace additionally gets one pid lane per remote subtree
+// (labelled with the shard via process_name metadata), so a routed
+// request renders as a router lane over per-shard process lanes
+// aligned on wall-clock time.
 func WriteChromeTrace(w io.Writer, traces ...*Trace) error {
 	var events []chromeEvent
 	for _, t := range traces {
@@ -185,11 +264,19 @@ func WriteChromeTrace(w io.Writer, traces ...*Trace) error {
 			}
 		}
 		base := float64(t.Start.UnixNano()) / 1e3
+		remotes := t.Remotes()
+		if len(remotes) > 0 {
+			events = append(events, processName(t.ID, fmt.Sprintf("router trace %d [%s]", t.ID, t.Class)))
+		}
 		for i := range spans {
 			s := &spans[i]
 			dur := s.dur
 			if dur < 0 {
 				dur = 0
+			}
+			var args any
+			if m := s.attrMap(); m != nil {
+				args = m
 			}
 			events = append(events, chromeEvent{
 				Name: s.name,
@@ -198,8 +285,17 @@ func WriteChromeTrace(w io.Writer, traces ...*Trace) error {
 				Dur:  float64(dur) / 1e3,
 				Pid:  t.ID,
 				Tid:  depth[i],
-				Args: s.attrMap(),
+				Args: args,
 			})
+		}
+		// Remote lanes: pids must not collide with local trace IDs in
+		// the same export; local IDs are small sequential counters, so
+		// offsetting into the high range keeps lanes distinct.
+		for i, rm := range remotes {
+			pid := t.ID<<20 | uint64(i+1)
+			events = append(events, processName(pid, rm.Label))
+			rbase := float64(rm.Start.UnixNano()) / 1e3
+			events = chromeSpanEvents(events, rm.Root, rbase, pid, 0)
 		}
 	}
 	enc := json.NewEncoder(w)

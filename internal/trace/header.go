@@ -1,0 +1,64 @@
+package trace
+
+import "strconv"
+
+// Cross-process trace propagation (router → shard). The router stamps
+// every fan-out leg of a sampled request with HeaderTrace; the shard
+// force-samples the leg under its own tracer, finishes the local trace
+// before answering, and points back at it with HeaderTraceID so the
+// router can fetch the completed span subtree by ID from the shard's
+// /debug/traces export and stitch it under its fanout span.
+//
+// The header constants are spelled in Go's canonical MIME form
+// ("X-Snode-Trace" is what http.Header.Set("X-SNode-Trace", ...)
+// writes on the wire anyway): http.Header.Get on a pre-canonical key
+// returns without allocating, which keeps the untraced request path —
+// every shard request reads the header — allocation-free.
+const (
+	// HeaderTrace is the request header carrying "<trace-id>:<sampled>"
+	// from the router to a shard replica (canonical form of
+	// X-SNode-Trace).
+	HeaderTrace = "X-Snode-Trace"
+	// HeaderTraceID is the response header carrying the shard-local
+	// trace ID of a force-sampled leg (canonical form of
+	// X-SNode-Trace-Id), fetchable at /debug/traces?id=N.
+	HeaderTraceID = "X-Snode-Trace-Id"
+)
+
+// FormatHeader renders the propagation header value: the parent trace
+// ID in decimal plus the sampled bit. Only sampled requests ever carry
+// the header, so this allocating formatter stays off the hot path.
+func FormatHeader(id uint64, sampled bool) string {
+	bit := ":0"
+	if sampled {
+		bit = ":1"
+	}
+	return strconv.FormatUint(id, 10) + bit
+}
+
+// ParseHeader decodes a propagation header value. The empty string —
+// the overwhelmingly common untraced case — returns ok=false after one
+// length check with no allocation; malformed values are treated as
+// absent (a bad peer must not break serving).
+func ParseHeader(v string) (id uint64, sampled bool, ok bool) {
+	if len(v) < 3 {
+		return 0, false, false
+	}
+	sep := len(v) - 2
+	if v[sep] != ':' {
+		return 0, false, false
+	}
+	switch v[sep+1] {
+	case '1':
+		sampled = true
+	case '0':
+		sampled = false
+	default:
+		return 0, false, false
+	}
+	id, err := strconv.ParseUint(v[:sep], 10, 64)
+	if err != nil || id == 0 {
+		return 0, false, false
+	}
+	return id, sampled, true
+}

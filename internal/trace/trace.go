@@ -90,7 +90,11 @@ type span struct {
 type Trace struct {
 	ID    uint64
 	Class string // slow-log class, e.g. "Q3"
-	Start time.Time
+	// ParentID, when nonzero, names the remote (router-side) trace this
+	// trace is one leg of: the trace was force-sampled by StartLinked
+	// because a parent process had already sampled the request.
+	ParentID uint64
+	Start    time.Time
 
 	maxSpans int
 
@@ -99,8 +103,51 @@ type Trace struct {
 	dropped int64
 	total   time.Duration
 	done    bool
+	remotes []Remote
 
 	ctrs [NumCounters]atomic.Int64
+}
+
+// Remote is a completed span subtree fetched from another process —
+// one shard leg of a routed request, stitched under the router trace's
+// fanout span. The subtree is stored in exported form: it arrived over
+// the wire as the shard's /debug/traces JSON.
+type Remote struct {
+	// Label names the process lane the subtree renders in, e.g.
+	// "shard1 http://127.0.0.1:40213".
+	Label string `json:"label"`
+	// TraceID is the remote-local trace ID (fetchable from that
+	// process's /debug/traces while retained).
+	TraceID uint64 `json:"trace_id"`
+	// Start is the remote trace's wall-clock start; span offsets in
+	// Root are relative to it. Cross-host clock skew shifts the lane,
+	// but span durations and nesting stay exact.
+	Start time.Time `json:"start"`
+	// Root is the remote span tree.
+	Root *SpanJSON `json:"root"`
+	// Counters are the remote trace's per-request counters.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// AttachRemote stitches a remote subtree onto the trace. Safe to call
+// after Finish: remotes are export-side data, fetched once the remote
+// leg has answered.
+func (t *Trace) AttachRemote(r Remote) {
+	if t == nil || r.Root == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remotes = append(t.remotes, r)
+	t.mu.Unlock()
+}
+
+// Remotes returns the stitched remote subtrees.
+func (t *Trace) Remotes() []Remote {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Remote, len(t.remotes))
+	copy(out, t.remotes)
+	return out
 }
 
 // Counter reads one per-request counter.

@@ -62,16 +62,47 @@ func New(cfg Config) *Tracer {
 // request, returning a derived context carrying the trace's root span.
 // Unsampled requests (and a nil tracer) get the original context back
 // with a nil trace — one atomic add, no allocations.
+//
+// A context that already carries a trace is returned unchanged with a
+// nil trace: the outer scope (a force-sampled shard leg, a routed
+// request whose handler traced it) owns the trace, and inner
+// StartRequest call sites — the engine traces its own entry points —
+// compose into it as spans instead of starting a second trace.
 func (tr *Tracer) StartRequest(ctx context.Context, class string) (context.Context, *Trace) {
 	if tr == nil || tr.sampleEvery <= 0 {
+		return ctx, nil
+	}
+	if Active(ctx) {
 		return ctx, nil
 	}
 	if tr.reqs.Add(1)%tr.sampleEvery != 0 {
 		return ctx, nil
 	}
+	return tr.begin(ctx, class, 0)
+}
+
+// StartLinked begins a trace unconditionally — no sampling decision —
+// recording parentID as the remote parent (the router-side trace this
+// one is a leg of). This is the cross-process force-sampling path: a
+// shard must trace a parent-sampled request even when its own
+// SampleEvery would never pick it (including SampleEvery = 0, sampling
+// disabled), and the forced trace must not consume a slot in the local
+// 1-in-N rotation, so the request counter is left untouched.
+func (tr *Tracer) StartLinked(ctx context.Context, class string, parentID uint64) (context.Context, *Trace) {
+	if tr == nil {
+		return ctx, nil
+	}
+	if Active(ctx) {
+		return ctx, nil
+	}
+	return tr.begin(ctx, class, parentID)
+}
+
+func (tr *Tracer) begin(ctx context.Context, class string, parentID uint64) (context.Context, *Trace) {
 	t := &Trace{
 		ID:       tr.nextID.Add(1),
 		Class:    class,
+		ParentID: parentID,
 		Start:    time.Now(),
 		maxSpans: tr.maxSpans,
 	}

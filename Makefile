@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs check bench bench-json bench-build bench-update bench-load bench-shard bench-obs clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec check bench bench-json bench-build bench-update bench-load bench-shard bench-obs bench-codec clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ check-overhead:
 	$(GO) test -count=1 -run 'TestUntracedTracingAddsNoAllocs' ./internal/query
 	$(GO) test -count=1 -run 'TestUntracedPrimitivesZeroAlloc' ./internal/trace
 	$(GO) test -count=1 -run 'TestCrossProcessUntracedZeroAlloc' ./internal/trace ./internal/serve ./internal/router
+	$(GO) test -count=1 -run 'TestDecodeHotPathAllocs' ./internal/snode
 
 # Build determinism: the parallel refiner and streaming assembly must
 # produce byte-identical partitions and artifacts at every worker
@@ -77,7 +78,21 @@ test-obs:
 	$(GO) test -count=1 -run 'TestRemoteSampledBit|TestForcedSampling|TestStartLinked|TestHeaderRoundTrip' ./internal/serve ./internal/trace
 	$(GO) test -count=1 ./internal/slo ./internal/metrics
 
-check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs
+# Codec gate: encode→decode identity for every registered codec over
+# every payload kind (fuzz seed corpora included), cross-codec build
+# equivalence (row-identical adjacency under paper/lz/log/auto, codec
+# IDs recorded and dispatched), the v1-artifact compatibility and
+# future-version rejection suite, hostile-input decode over flipped
+# payload bytes, codec flow through sharded builds, and the snbench
+# registry check that `-experiment codecs` resolves. Run with -count=1
+# so the gate always executes.
+test-codec:
+	$(GO) test -count=1 -run 'TestCodec|FuzzCodecRoundTrip|FuzzDecodeHostile|TestCorruptIndexAllCodecs|TestMeasureDecode|TestLegacyMetaV1ServesAsPaper|TestUnknown' ./internal/snode
+	$(GO) test -count=1 -run 'TestCodecQueryEquivalence' ./internal/query
+	$(GO) test -count=1 -run 'TestShardBuildCarriesCodec' ./internal/shard
+	$(GO) test -count=1 -run 'TestRegistryEntriesAreWellFormed' ./cmd/snbench
+
+check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -132,6 +147,16 @@ bench-shard:
 # to a stitched distributed trace with both shard subtrees.
 bench-obs:
 	$(GO) run ./cmd/snbench -experiment obs -quick -obs-out BENCH_PR8.json
+
+# Codec bake-off artifact: the same crawl built under every codec
+# setting (paper, lz, log, and the per-supernode auto bake-off), scored
+# on payload bits/edge, pure-CPU decode ns/edge per (codec, kind)
+# class, and cold-cache /out p50/p99 at three cache budgets. The
+# summary pins the PR's gates: a non-paper codec wins decode ns/edge
+# for at least one class within a 1.1x size leash, and the auto
+# artifact's default-budget p99 does not regress against paper.
+bench-codec:
+	$(GO) run ./cmd/snbench -experiment codecs -quick -codec-out BENCH_PR9.json
 
 clean:
 	$(GO) clean ./...

@@ -44,6 +44,7 @@ type runFlags struct {
 	loadOut   string
 	shardOut  string
 	obsOut    string
+	codecOut  string
 }
 
 // experimentSpec is one registry entry. name is the canonical
@@ -71,6 +72,7 @@ func experiments() []experimentSpec {
 		{name: "load", desc: "open-loop latency vs offered load", run: runLoad},
 		{name: "shard", desc: "distributed serving QPS vs shard count", run: runShard},
 		{name: "obs", desc: "fleet observability plane end to end", run: runObs},
+		{name: "codecs", desc: "supernode codec bake-off grid", run: runCodecs},
 		{name: "ablation", desc: "§3 design-choice studies", run: runAblation},
 	}
 }
@@ -257,6 +259,21 @@ func runObs(rf *runFlags) error {
 	return nil
 }
 
+func runCodecs(rf *runFlags) error {
+	rep, err := bench.Codecs(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderCodecs(rf.cfg, rep)
+	if rf.codecOut != "" {
+		if err := bench.CodecsJSON(rf.codecOut, rf.cfg, rep); err != nil {
+			return err
+		}
+		fmt.Printf("codec bake-off grid written to %s\n", rf.codecOut)
+	}
+	return nil
+}
+
 func runAblation(rf *runFlags) error {
 	rows, err := bench.Ablations(rf.cfg)
 	if err != nil {
@@ -292,6 +309,7 @@ func main() {
 	loadOut := flag.String("load-out", "", "write the open-loop load rows as JSON to this file after the run")
 	shardOut := flag.String("shard-out", "", "write the shard-scaling rows as JSON to this file after the run")
 	obsOut := flag.String("obs-out", "", "write the fleet-observability report as JSON to this file after the run")
+	codecOut := flag.String("codec-out", "", "write the codec bake-off grid as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -330,6 +348,7 @@ func main() {
 		loadOut:   *loadOut,
 		shardOut:  *shardOut,
 		obsOut:    *obsOut,
+		codecOut:  *codecOut,
 	}
 	for _, spec := range specs {
 		name := spec.name

@@ -43,6 +43,7 @@ type options struct {
 	verify    bool
 	progress  bool
 	shards    int
+	codec     string
 }
 
 // usageError prints the problem in flag-package style (message plus
@@ -68,6 +69,7 @@ func parseFlags() options {
 	flag.BoolVar(&o.verify, "verify", false, "verify the S-Node representation after building")
 	flag.BoolVar(&o.progress, "progress", false, "print a periodic build-progress line (elements split / supernodes encoded) to stderr")
 	flag.IntVar(&o.shards, "shards", 0, "emit a K-way domain partition for the distributed serving tier instead of a single repository (0 disables)")
+	flag.StringVar(&o.codec, "codec", snode.CodecPaper, "supernode payload codec: "+strings.Join(snode.CodecNames(), ", ")+" (auto = per-supernode bake-off; output then depends on machine timing)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -93,6 +95,16 @@ func parseFlags() options {
 	}
 	if o.shards < 0 {
 		usageError("-shards must be >= 0, got %d", o.shards)
+	}
+	codecOK := false
+	for _, n := range snode.CodecNames() {
+		if o.codec == n {
+			codecOK = true
+			break
+		}
+	}
+	if !codecOK {
+		usageError("unknown -codec %q (one of: %s)", o.codec, strings.Join(snode.CodecNames(), ", "))
 	}
 	if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
 		usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
@@ -156,6 +168,7 @@ func main() {
 	opt.Transpose = o.transpose
 	opt.Layout = crawl.Order
 	opt.SNode.BuildWorkers = o.workers
+	opt.SNode.Codec = o.codec
 	if o.scheme != "all" {
 		opt.Schemes = []string{o.scheme}
 	}

@@ -346,3 +346,39 @@ func TestProvenanceStamp(t *testing.T) {
 		t.Fatalf("git commit %q is neither a hash nor the fallback", p.GitCommit)
 	}
 }
+
+func TestCodecsSmoke(t *testing.T) {
+	cfg := tiny()
+	rep, err := Codecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want paper/lz/log/auto", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.PayloadBytes <= 0 || row.PayloadEdges <= 0 || row.BitsPerEdge <= 0 {
+			t.Fatalf("degenerate size measurement %+v", row)
+		}
+		if len(row.Decode) == 0 || len(row.Latency) != 3 {
+			t.Fatalf("%s: %d decode rows, %d latency rows", row.Codec, len(row.Decode), len(row.Latency))
+		}
+		for _, lr := range row.Latency {
+			if lr.P99MS < lr.P50MS || lr.P50MS < 0 {
+				t.Fatalf("%s: implausible latency row %+v", row.Codec, lr)
+			}
+		}
+		if len(row.Mix) == 0 {
+			t.Fatalf("%s: no codec mix recorded", row.Codec)
+		}
+	}
+	if len(rep.Summary.KindWinners) == 0 {
+		t.Fatal("no per-kind winners in summary")
+	}
+	var sb strings.Builder
+	cfg.Out = &sb
+	RenderCodecs(cfg, rep)
+	if !strings.Contains(sb.String(), "bake-off") {
+		t.Fatal("render output missing header")
+	}
+}

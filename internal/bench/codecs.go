@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"snode/internal/snode"
+	"snode/internal/webgraph"
+)
+
+// The codecs experiment is the bake-off grid behind `snbuild -codec`:
+// the same crawl is built under every codec setting — the three fixed
+// codecs plus the per-supernode auto bake-off — and each artifact is
+// scored three ways:
+//
+//   - size: payload bits/edge, overall and per (codec, kind) class;
+//   - decode: pure-CPU ns/edge per class (MeasureDecode, min of
+//     codecRounds passes over preloaded payload bytes);
+//   - serving: cold-cache /out lookup latency p50/p99 at three cache
+//     budgets bracketing the default.
+//
+// The summary pins the two acceptance gates: at least one non-paper
+// codec must win decode ns/edge for some class while paying at most
+// codecMaxBPERatio of paper's bits/edge, and the auto artifact's
+// default-budget p99 must not regress against paper.
+
+// codecRounds is the MeasureDecode repetition count (min wins).
+const codecRounds = 3
+
+// codecLookups is the seeded /out sample size per cache budget.
+const codecLookups = 2000
+
+// codecMaxBPERatio is the size leash on the decode-speed gate.
+const codecMaxBPERatio = 1.1
+
+// CodecDecodeRow is one (codec, kind) class of one artifact.
+type CodecDecodeRow struct {
+	Codec       string  `json:"codec"`
+	Kind        string  `json:"kind"`
+	Graphs      int64   `json:"graphs"`
+	Bytes       int64   `json:"bytes"`
+	Edges       int64   `json:"edges"`
+	Ns          int64   `json:"ns"`
+	NsPerEdge   float64 `json:"ns_per_edge"`
+	BitsPerEdge float64 `json:"bits_per_edge"`
+}
+
+// CodecLatencyRow is one cache-budget point of the /out sweep.
+type CodecLatencyRow struct {
+	CacheBudget int64   `json:"cache_budget_bytes"`
+	Lookups     int     `json:"lookups"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// CodecRow is one build setting's full measurement.
+type CodecRow struct {
+	Codec        string                 `json:"codec"`
+	BuildMS      int64                  `json:"build_ms"`
+	PayloadBytes int64                  `json:"payload_bytes"`
+	PayloadEdges int64                  `json:"payload_edges"`
+	BitsPerEdge  float64                `json:"bits_per_edge"`
+	Mix          []snode.CodecBuildStat `json:"mix"`
+	Decode       []CodecDecodeRow       `json:"decode"`
+	Latency      []CodecLatencyRow      `json:"latency"`
+}
+
+// CodecKindWinner is the fastest codec for one payload kind.
+type CodecKindWinner struct {
+	Kind             string  `json:"kind"`
+	Codec            string  `json:"codec"`
+	NsPerEdge        float64 `json:"ns_per_edge"`
+	PaperNsPerEdge   float64 `json:"paper_ns_per_edge"`
+	BitsPerEdgeRatio float64 `json:"bits_per_edge_ratio_vs_paper"`
+}
+
+// CodecsSummary pins the acceptance gates.
+type CodecsSummary struct {
+	// KindWinners lists, per payload kind, the codec with the lowest
+	// decode ns/edge across the fixed-codec artifacts.
+	KindWinners []CodecKindWinner `json:"kind_winners"`
+	// NonPaperWinWithinSizeLeash: some kind's winner is not paper and
+	// pays <= codecMaxBPERatio of paper's bits/edge for that kind.
+	NonPaperWinWithinSizeLeash bool `json:"non_paper_win_within_size_leash"`
+	// AutoVsPaperP99 is auto's default-budget /out p99 over paper's.
+	AutoVsPaperP99 float64 `json:"auto_vs_paper_p99"`
+}
+
+// CodecsReport is the experiment's full result.
+type CodecsReport struct {
+	Rows    []CodecRow    `json:"rows"`
+	Summary CodecsSummary `json:"summary"`
+}
+
+// codecBudgets brackets the default cache budget.
+func codecBudgets(def int64) []int64 { return []int64{def / 4, def, def * 4} }
+
+// Codecs runs the grid at cfg.QuerySize.
+func Codecs(cfg Config) (*CodecsReport, error) {
+	crawl, err := cfg.Crawl(cfg.QuerySize)
+	if err != nil {
+		return nil, err
+	}
+	ws, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	settings := []string{snode.CodecPaper, snode.CodecLZ, snode.CodecLog, snode.CodecAuto}
+	rep := &CodecsReport{}
+	for _, codec := range settings {
+		dir := filepath.Join(ws, "codec-"+codec)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		sncfg := snode.DefaultConfig()
+		sncfg.Codec = codec
+		start := time.Now()
+		if _, err := snode.Build(crawl.Corpus, sncfg, dir); err != nil {
+			return nil, fmt.Errorf("codec %s: %w", codec, err)
+		}
+		buildMS := time.Since(start).Milliseconds()
+
+		r, err := snode.Open(dir, cfg.QueryBudget, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		row := CodecRow{Codec: codec, BuildMS: buildMS, Mix: r.Codecs()}
+		for _, cs := range row.Mix {
+			row.PayloadBytes += cs.Bytes
+			row.PayloadEdges += cs.Edges
+		}
+		if row.PayloadEdges > 0 {
+			row.BitsPerEdge = float64(row.PayloadBytes) * 8 / float64(row.PayloadEdges)
+		}
+
+		costs, err := r.MeasureDecode(codecRounds)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		for _, dc := range costs {
+			dr := CodecDecodeRow{
+				Codec: dc.Codec, Kind: dc.Kind,
+				Graphs: dc.Graphs, Bytes: dc.Bytes, Edges: dc.Edges, Ns: dc.Ns,
+			}
+			if dc.Edges > 0 {
+				dr.NsPerEdge = float64(dc.Ns) / float64(dc.Edges)
+				dr.BitsPerEdge = float64(dc.Bytes) * 8 / float64(dc.Edges)
+			}
+			row.Decode = append(row.Decode, dr)
+		}
+
+		for _, budget := range codecBudgets(cfg.QueryBudget) {
+			lr, err := codecLatency(r, crawl.Corpus.Graph.NumPages(), budget)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			row.Latency = append(row.Latency, lr)
+		}
+		r.Close()
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Summary = codecsSummary(rep.Rows)
+	return rep, nil
+}
+
+// codecLatency drives codecLookups seeded /out calls from a cold cache
+// at the given budget.
+func codecLatency(r *snode.Representation, pages int, budget int64) (CodecLatencyRow, error) {
+	r.ResetCache(budget)
+	rng := rand.New(rand.NewSource(20030226))
+	lats := make([]time.Duration, 0, codecLookups)
+	var buf []webgraph.PageID
+	for i := 0; i < codecLookups; i++ {
+		p := webgraph.PageID(rng.Intn(pages))
+		start := time.Now()
+		out, err := r.Out(p, buf[:0])
+		if err != nil {
+			return CodecLatencyRow{}, err
+		}
+		lats = append(lats, time.Since(start))
+		buf = out
+	}
+	return CodecLatencyRow{
+		CacheBudget: budget,
+		Lookups:     codecLookups,
+		P50MS:       percentileMS(lats, 0.50),
+		P99MS:       percentileMS(lats, 0.99),
+	}, nil
+}
+
+// codecsSummary computes the acceptance gates from the grid.
+func codecsSummary(rows []CodecRow) CodecsSummary {
+	var s CodecsSummary
+	// Per-kind decode classes from the fixed-codec artifacts (the auto
+	// artifact mixes codecs and is judged on latency, not per class).
+	type class struct{ ns, bpe float64 }
+	perKind := map[string]map[string]class{}
+	for _, row := range rows {
+		if row.Codec == snode.CodecAuto {
+			continue
+		}
+		for _, d := range row.Decode {
+			if d.Edges == 0 {
+				continue
+			}
+			if perKind[d.Kind] == nil {
+				perKind[d.Kind] = map[string]class{}
+			}
+			perKind[d.Kind][d.Codec] = class{ns: d.NsPerEdge, bpe: d.BitsPerEdge}
+		}
+	}
+	kinds := make([]string, 0, len(perKind))
+	for k := range perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		byCodec := perKind[kind]
+		paper, hasPaper := byCodec[snode.CodecPaper]
+		best := CodecKindWinner{Kind: kind, NsPerEdge: -1}
+		for codec, c := range byCodec {
+			if best.NsPerEdge < 0 || c.ns < best.NsPerEdge {
+				best.Codec, best.NsPerEdge = codec, c.ns
+			}
+		}
+		if hasPaper {
+			best.PaperNsPerEdge = paper.ns
+			if paper.bpe > 0 {
+				best.BitsPerEdgeRatio = byCodec[best.Codec].bpe / paper.bpe
+			}
+			// The gate is existential: ANY non-paper codec that decodes
+			// faster than paper while paying at most the size leash —
+			// not just the overall fastest (lz and log trade the top
+			// spot run to run; the leashed win is stable).
+			for codec, c := range byCodec {
+				if codec != snode.CodecPaper && c.ns < paper.ns &&
+					paper.bpe > 0 && c.bpe/paper.bpe <= codecMaxBPERatio {
+					s.NonPaperWinWithinSizeLeash = true
+				}
+			}
+		}
+		s.KindWinners = append(s.KindWinners, best)
+	}
+	// Auto-vs-paper p99 at the default budget (the middle point).
+	var paperP99, autoP99 float64
+	for _, row := range rows {
+		if len(row.Latency) < 2 {
+			continue
+		}
+		switch row.Codec {
+		case snode.CodecPaper:
+			paperP99 = row.Latency[1].P99MS
+		case snode.CodecAuto:
+			autoP99 = row.Latency[1].P99MS
+		}
+	}
+	if paperP99 > 0 {
+		s.AutoVsPaperP99 = autoP99 / paperP99
+	}
+	return s
+}
+
+// RenderCodecs prints the grid and the gate verdicts.
+func RenderCodecs(cfg Config, rep *CodecsReport) {
+	w := cfg.out()
+	fmt.Fprintf(w, "Codec bake-off (%d pages, budgets %v bytes)\n",
+		cfg.QuerySize, codecBudgets(cfg.QueryBudget))
+	fmt.Fprintf(w, "%-8s %10s %12s %10s %12s %12s\n",
+		"build", "build ms", "payload B", "bits/edge", "p50@def ms", "p99@def ms")
+	for _, row := range rep.Rows {
+		var p50, p99 float64
+		if len(row.Latency) >= 2 {
+			p50, p99 = row.Latency[1].P50MS, row.Latency[1].P99MS
+		}
+		fmt.Fprintf(w, "%-8s %10d %12d %10.2f %12.3f %12.3f\n",
+			row.Codec, row.BuildMS, row.PayloadBytes, row.BitsPerEdge, p50, p99)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %-10s %8s %12s %12s %10s\n",
+		"codec", "kind", "graphs", "ns/edge", "bits/edge", "bytes")
+	for _, row := range rep.Rows {
+		for _, d := range row.Decode {
+			fmt.Fprintf(w, "%-8s %-10s %8d %12.2f %12.2f %10d\n",
+				row.Codec, d.Kind, d.Graphs, d.NsPerEdge, d.BitsPerEdge, d.Bytes)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, kw := range rep.Summary.KindWinners {
+		fmt.Fprintf(w, "fastest %-10s %-6s %8.2f ns/edge (paper %.2f), %.2fx paper bits/edge\n",
+			kw.Kind, kw.Codec, kw.NsPerEdge, kw.PaperNsPerEdge, kw.BitsPerEdgeRatio)
+	}
+	fmt.Fprintf(w, "non-paper win within %.1fx size leash: %v\n",
+		codecMaxBPERatio, rep.Summary.NonPaperWinWithinSizeLeash)
+	fmt.Fprintf(w, "auto vs paper p99 at default budget: %.2fx\n", rep.Summary.AutoVsPaperP99)
+	fmt.Fprintln(w)
+}
+
+// CodecsJSON writes the report (plus scale parameters and run
+// provenance) as the committed benchmark artifact.
+func CodecsJSON(path string, cfg Config, rep *CodecsReport) error {
+	doc := struct {
+		Experiment  string        `json:"experiment"`
+		Provenance  Provenance    `json:"provenance"`
+		Pages       int           `json:"pages"`
+		BudgetBytes int64         `json:"budget_bytes"`
+		Rounds      int           `json:"measure_rounds"`
+		Lookups     int           `json:"lookups_per_budget"`
+		Rows        []CodecRow    `json:"rows"`
+		Summary     CodecsSummary `json:"summary"`
+	}{
+		Experiment:  "codecs",
+		Provenance:  NewProvenance(),
+		Pages:       cfg.QuerySize,
+		BudgetBytes: cfg.QueryBudget,
+		Rounds:      codecRounds,
+		Lookups:     codecLookups,
+		Rows:        rep.Rows,
+		Summary:     rep.Summary,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

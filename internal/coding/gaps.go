@@ -75,7 +75,11 @@ func WriteBoundedGapList(w *bitio.Writer, ids []int32, bound uint64) {
 	}
 }
 
-// ReadBoundedGapList decodes n IDs written by WriteBoundedGapList.
+// ReadBoundedGapList decodes n IDs written by WriteBoundedGapList. Every
+// decoded value is validated against [0, bound) as it is produced — the
+// minimal binary first value cannot escape, but corrupt gamma gaps can
+// push the running sum past the bound, and the fused check spares
+// callers a second pass over the decoded list.
 func ReadBoundedGapList(r *bitio.Reader, n int, bound uint64, dst []int32) ([]int32, error) {
 	if n == 0 {
 		return dst, nil
@@ -91,7 +95,11 @@ func ReadBoundedGapList(r *bitio.Reader, n int, bound uint64, dst []int32) ([]in
 		if err != nil {
 			return dst, err
 		}
-		cur += int32(d)
+		nv := int64(cur) + int64(d)
+		if nv >= int64(bound) {
+			return dst, ErrBadCode
+		}
+		cur = int32(nv)
 		dst = append(dst, cur)
 	}
 	return dst, nil

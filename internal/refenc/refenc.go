@@ -253,7 +253,12 @@ func writeRun(w *bitio.Writer, list []int32, bound uint64, gc GapCode) {
 	}
 }
 
-// readRun decodes n values written by writeRun, appending to dst.
+// readRun decodes n values written by writeRun, appending to dst. When
+// bound is positive every decoded value is validated against [0, bound)
+// as it is produced — a minimal binary first value cannot escape, but a
+// corrupt gap can push the running sum past the bound (or wrap int32),
+// and fusing the check into the decode loop replaces the second O(E)
+// validation pass callers used to make over every decoded graph.
 func readRun(r *bitio.Reader, n int, bound uint64, gc GapCode, dst []int32) ([]int32, error) {
 	if n == 0 {
 		return dst, nil
@@ -278,7 +283,15 @@ func readRun(r *bitio.Reader, n int, bound uint64, gc GapCode, dst []int32) ([]i
 		if err != nil {
 			return dst, err
 		}
-		cur += int32(d)
+		if bound > 0 {
+			nv := int64(cur) + int64(d)
+			if nv >= int64(bound) {
+				return dst, fmt.Errorf("refenc: run value %d outside [0,%d)", nv, bound)
+			}
+			cur = int32(nv)
+		} else {
+			cur += int32(d)
+		}
 		dst = append(dst, cur)
 	}
 	return dst, nil

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"testing"
 
 	"snode/internal/iosim"
@@ -299,6 +300,74 @@ func TestShardedQueriesMatchSingleNode(t *testing.T) {
 						k, q, i, got[i].Key, got[i].Value, want.Rows[i].Value)
 				}
 			}
+		}
+	}
+}
+
+// TestShardBuildCarriesCodec pins that a non-default codec flows
+// through the sharded build: every per-shard S-Node store records the
+// requested codec in its meta, and the stores stay row-identical to a
+// default-codec sharded build of the same crawl.
+func TestShardBuildCarriesCodec(t *testing.T) {
+	const k = 3
+	crawl, err := synth.Generate(synth.DefaultConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(codec string) string {
+		root, err := os.MkdirTemp("", "shard-codec-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.RemoveAll(root) })
+		cfg := snode.DefaultConfig()
+		cfg.Codec = codec
+		if _, err := Build(crawl, k, root, cfg); err != nil {
+			t.Fatalf("Build codec=%q: %v", codec, err)
+		}
+		return root
+	}
+	paperRoot := build("")
+	lzRoot := build("lz")
+
+	for s := 0; s < k; s++ {
+		for _, sub := range []string{"snode.fwd", "snode.rev"} {
+			lzDir := filepath.Join(lzRoot, "shard-"+strconv.Itoa(s), sub)
+			lzRep, err := snode.Open(lzDir, 1<<20, iosim.Model2002())
+			if err != nil {
+				t.Fatalf("shard %d %s: %v", s, sub, err)
+			}
+			cs := lzRep.Codecs()
+			if len(cs) != 1 || cs[0].Name != "lz" {
+				t.Fatalf("shard %d %s: codec composition %+v, want pure lz", s, sub, cs)
+			}
+
+			paperRep, err := snode.Open(
+				filepath.Join(paperRoot, "shard-"+strconv.Itoa(s), sub), 1<<20, iosim.Model2002())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := paperRep.DecodeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := lzRep.DecodeAll()
+			if err != nil {
+				t.Fatalf("shard %d %s decode: %v", s, sub, err)
+			}
+			for p := int32(0); p < int32(lzRep.NumPages()); p++ {
+				a, b := want.Out(p), got.Out(p)
+				if len(a) != len(b) {
+					t.Fatalf("shard %d %s page %d: %d vs %d edges", s, sub, p, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("shard %d %s page %d edge %d differs", s, sub, p, i)
+					}
+				}
+			}
+			paperRep.Close()
+			lzRep.Close()
 		}
 	}
 }

@@ -7,13 +7,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 	"time"
 
-	"snode/internal/bitio"
 	"snode/internal/coding"
 	"snode/internal/metrics"
 	"snode/internal/partition"
+	"snode/internal/refenc"
 	"snode/internal/trace"
 	"snode/internal/webgraph"
 	"snode/internal/workpool"
@@ -159,7 +158,21 @@ func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition
 		mEncoded = cfg.Metrics.Counter("build_supernodes_encoded")
 		mSuperedges = cfg.Metrics.Counter("build_superedges")
 	}
-	var writers sync.Pool // *bitio.Writer, reused across encodes per worker
+	// Resolve the codec policy once: a fixed codec encodes every
+	// supernode (byte-deterministic), while "auto" runs the
+	// per-supernode bake-off inside each encode worker.
+	autoCodec := cfg.Codec == CodecAuto
+	var fixedCodec Codec
+	if !autoCodec {
+		var cerr error
+		fixedCodec, cerr = codecByName(cfg.Codec)
+		if cerr != nil {
+			out.close()
+			espan.End()
+			return nil, cerr
+		}
+	}
+	var codecAgg [numCodecs]CodecBuildStat
 	encode := func(ctx context.Context, s int) (*encodedSupernode, error) {
 		if hook := encodeFailHook; hook != nil {
 			if err := hook(int32(s)); err != nil {
@@ -175,12 +188,16 @@ func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition
 			}
 			cfg.BuildIO.Scan(ctx, scanPageBytes*int64(m.SnBase[s+1]-m.SnBase[s])+scanEdgeBytes*edges)
 		}
-		w, _ := writers.Get().(*bitio.Writer)
-		if w == nil {
-			w = bitio.NewWriter(1 << 16)
+		p, err := gatherSupernode(c, m, cfg, snOfInternal, int32(s))
+		if err != nil {
+			return nil, err
 		}
-		es, err := encodeSupernode(c, m, cfg, snOfInternal, int32(s), w)
-		writers.Put(w)
+		var es *encodedSupernode
+		if autoCodec {
+			es, err = bakeOffSupernode(p, cfg.Refenc)
+		} else {
+			es, err = encodePayloads(fixedCodec, p, cfg.Refenc)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -190,20 +207,29 @@ func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition
 		return es, nil
 	}
 	assemble := func(s int, es *encodedSupernode) error {
+		agg := &codecAgg[es.codec]
+		agg.Supernodes++
 		gid, err := out.addBlob(es.intraBlob, dirEntry{
 			Kind: kindIntra, I: int32(s), J: -1, NumLists: m.SnBase[s+1] - m.SnBase[s],
+			Codec: es.codec,
 		})
 		if err != nil {
 			return err
 		}
+		agg.Graphs++
+		agg.Bytes += int64(len(es.intraBlob))
+		agg.Edges += es.intraEdges
 		m.IntraGID = append(m.IntraGID, gid)
 		m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
 		for _, sb := range es.supers {
-			e := dirEntry{Kind: sb.kind, I: int32(s), J: sb.j, NumLists: sb.numLists}
+			e := dirEntry{Kind: sb.kind, I: int32(s), J: sb.j, NumLists: sb.numLists, Codec: es.codec}
 			gid, err := out.addBlob(sb.blob, e)
 			if err != nil {
 				return err
 			}
+			agg.Graphs++
+			agg.Bytes += int64(len(sb.blob))
+			agg.Edges += sb.edges
 			m.SuperAdj = append(m.SuperAdj, sb.j)
 			m.SuperGID = append(m.SuperGID, gid)
 			superDeg[s]++
@@ -226,6 +252,14 @@ func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition
 		return nil, err
 	}
 	m.SuperOff = append(m.SuperOff, int64(len(m.SuperAdj)))
+	for id, agg := range codecAgg {
+		if agg.Supernodes == 0 {
+			continue
+		}
+		agg.ID = uint8(id)
+		agg.Name = codecTable[id].Name()
+		m.Stats.Codecs = append(m.Stats.Codecs, agg)
+	}
 	m.Directory = out.entries
 	m.FileSizes = out.sizes()
 	if err := out.close(); err != nil {
@@ -283,22 +317,54 @@ func BuildFromPartitionCtx(ctx context.Context, c *webgraph.Corpus, p *partition
 // encodedSupernode holds one supernode's encoded graphs between the
 // parallel encode stage and the sequential assembly stage.
 type encodedSupernode struct {
-	intraBlob []byte
-	supers    []encodedSuper
+	codec      uint8
+	intraBlob  []byte
+	intraEdges int64
+	supers     []encodedSuper
 }
 
 type encodedSuper struct {
 	j        int32
 	kind     uint8
 	numLists int32
+	njSize   int32 // |Nj|, needed to decode during the bake-off
+	edges    int64 // stored (list) edges, for per-codec stats
 	blob     []byte
 }
 
-// encodeSupernode buckets supernode s's links and encodes its intranode
-// graph plus all its superedge graphs. It touches only immutable build
-// state (graph, permutation, SnBase) and its own writer, so it is safe
-// to run concurrently per supernode.
-func encodeSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int32, s int32, w *bitio.Writer) (*encodedSupernode, error) {
+func (es *encodedSupernode) totalBytes() int64 {
+	n := int64(len(es.intraBlob))
+	for _, sb := range es.supers {
+		n += int64(len(sb.blob))
+	}
+	return n
+}
+
+// snPayloads is one supernode's graphs in decoded form, ready to encode
+// under any codec: the intranode lists plus one payload per superedge
+// with the §2 pos/neg choice already made (the choice counts edges, not
+// bytes, so it is codec-independent).
+type snPayloads struct {
+	size   int32 // |Ni|
+	intra  [][]int32
+	supers []superPayload
+}
+
+type superPayload struct {
+	j        int32
+	kind     uint8
+	srcs     []int32 // superPos only
+	lists    [][]int32
+	numLists int32
+	njSize   int32
+	edges    int64
+}
+
+// gatherSupernode buckets supernode s's links into the intranode graph
+// plus per-target-supernode payloads. It touches only immutable build
+// state (graph, permutation, SnBase), so it is safe to run concurrently
+// per supernode.
+func gatherSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int32, s int32) (*snPayloads, error) {
 	base := m.SnBase[s]
 	size := m.SnBase[s+1] - base
 
@@ -332,13 +398,7 @@ func encodeSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int
 	// Adjacency lists arrive in ascending external-target order; local
 	// IDs within one bucket are therefore already sorted.
 
-	es := &encodedSupernode{}
-	w.Reset()
-	if err := encodeIntra(w, intra, cfg.Refenc); err != nil {
-		return nil, err
-	}
-	es.intraBlob = append([]byte(nil), w.Bytes()...)
-
+	p := &snPayloads{size: size, intra: intra}
 	sort.Slice(jOrder, func(a, b int) bool { return jOrder[a] < jOrder[b] })
 	for _, j := range jOrder {
 		srcs := bucketSrcs[j]
@@ -350,8 +410,7 @@ func encodeSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int
 		njSize := int64(m.SnBase[j+1] - m.SnBase[j])
 		negEdges := int64(size)*njSize - posEdges
 
-		w.Reset()
-		sb := encodedSuper{j: j}
+		sp := superPayload{j: j, njSize: int32(njSize)}
 		if !cfg.DisableNegative && negEdges < posEdges {
 			// Negative graph: complement lists for every page of Ni.
 			comps := make([][]int32, size)
@@ -364,22 +423,109 @@ func encodeSupernode(c *webgraph.Corpus, m *meta, cfg Config, snOfInternal []int
 				}
 				comps[local] = complement(pos, int32(njSize))
 			}
-			if err := encodeSuperNeg(w, comps, int32(njSize), cfg.Refenc); err != nil {
-				return nil, err
-			}
-			sb.kind = kindSuperNeg
-			sb.numLists = size
+			sp.kind = kindSuperNeg
+			sp.lists = comps
+			sp.numLists = size
+			sp.edges = negEdges
 		} else {
-			if err := encodeSuperPos(w, srcs, lists, size, int32(njSize), cfg.Refenc); err != nil {
-				return nil, err
-			}
-			sb.kind = kindSuperPos
-			sb.numLists = int32(len(srcs))
+			sp.kind = kindSuperPos
+			sp.srcs = srcs
+			sp.lists = lists
+			sp.numLists = int32(len(srcs))
+			sp.edges = posEdges
 		}
-		sb.blob = append([]byte(nil), w.Bytes()...)
-		es.supers = append(es.supers, sb)
+		p.supers = append(p.supers, sp)
+	}
+	return p, nil
+}
+
+// encodePayloads encodes every graph of one supernode under cd.
+func encodePayloads(cd Codec, p *snPayloads, opt refenc.Options) (*encodedSupernode, error) {
+	es := &encodedSupernode{codec: cd.ID()}
+	blob, err := cd.EncodeIntra(nil, p.intra, opt)
+	if err != nil {
+		return nil, err
+	}
+	es.intraBlob = blob
+	for _, l := range p.intra {
+		es.intraEdges += int64(len(l))
+	}
+	for _, sp := range p.supers {
+		var blob []byte
+		if sp.kind == kindSuperNeg {
+			blob, err = cd.EncodeSuperNeg(nil, sp.lists, sp.njSize, opt)
+		} else {
+			blob, err = cd.EncodeSuperPos(nil, sp.srcs, sp.lists, p.size, sp.njSize, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		es.supers = append(es.supers, encodedSuper{
+			j: sp.j, kind: sp.kind, numLists: sp.numLists, njSize: sp.njSize,
+			edges: sp.edges, blob: blob,
+		})
 	}
 	return es, nil
+}
+
+// bakeOffRounds is how many times the bake-off decodes each candidate
+// encoding; the minimum round is the score's time term, damping
+// scheduler noise.
+const bakeOffRounds = 3
+
+// measureDecode decodes every blob of the candidate once per round and
+// returns the fastest round in nanoseconds. It doubles as a round-trip
+// guard: an encoding its own codec cannot decode fails the build.
+func (es *encodedSupernode) measureDecode(niSize int32, rounds int) (int64, error) {
+	cd := codecTable[es.codec]
+	best := int64(-1)
+	for round := 0; round < rounds; round++ {
+		start := time.Now()
+		if _, err := cd.DecodeIntra(es.intraBlob, int(niSize)); err != nil {
+			return 0, err
+		}
+		for _, sb := range es.supers {
+			var err error
+			if sb.kind == kindSuperNeg {
+				_, err = cd.DecodeSuperNeg(sb.blob, int(sb.numLists), sb.njSize)
+			} else {
+				_, err = cd.DecodeSuperPos(sb.blob, int(sb.numLists), niSize, sb.njSize)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// bakeOffSupernode encodes the supernode under every registered codec,
+// scores each candidate by encoded size x fastest decode time, and
+// returns the winner (ties break to fewer bytes, then lower codec ID —
+// so the paper codec wins exact ties).
+func bakeOffSupernode(p *snPayloads, opt refenc.Options) (*encodedSupernode, error) {
+	var best *encodedSupernode
+	var bestScore float64
+	var bestBytes int64
+	for _, cd := range codecTable {
+		es, err := encodePayloads(cd, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		total := es.totalBytes()
+		ns, err := es.measureDecode(p.size, bakeOffRounds)
+		if err != nil {
+			return nil, err
+		}
+		score := float64(total) * float64(ns)
+		if best == nil || score < bestScore || (score == bestScore && total < bestBytes) {
+			best, bestScore, bestBytes = es, score, total
+		}
+	}
+	return best, nil
 }
 
 // fileWriter appends byte-aligned encoded graphs to a sequence of index

@@ -3,26 +3,124 @@ package snode
 import (
 	"fmt"
 
-	"snode/internal/bitio"
-	"snode/internal/coding"
 	"snode/internal/refenc"
 )
 
-// Lower-level graph wire formats. Every graph starts byte-aligned in an
-// index file; NumLists and NumBytes live in the directory entry.
+// Graph wire formats. Every graph starts byte-aligned in an index file;
+// NumLists, NumBytes, and the codec ID live in the directory entry.
 //
-//	intranode:  refenc lists, one per page of Ni (local target IDs)
-//	superPos:   gap-coded source local IDs, then refenc lists, one per
+//	intranode:  adjacency lists, one per page of Ni (local target IDs)
+//	superPos:   source local IDs within Ni, then one target list per
 //	            source (local IDs within Nj)
-//	superNeg:   refenc lists, one per page of Ni (complement lists over
-//	            Nj's local ID space)
+//	superNeg:   complement lists over Nj's local ID space, one per page
+//	            of Ni
+//
+// The concrete byte layout is owned by a Codec. The paper's refenc
+// scheme is codec/paper (ID 0, the default and the format of every
+// artifact built before codecs existed); codec/lz is an LZ-style
+// ordered-list coder (common-prefix copy + byte-aligned gap residuals,
+// after Grabowski & Bieniecki); codec/log is a Log(Graph)-style
+// succinct coder (IDs bit-packed at ceil(log2(bound)) width with
+// per-list logarithmized gap arrays, after Besta et al.). The builder
+// picks one codec per supernode (fixed by Config.Codec, or per-supernode
+// by the "auto" bake-off) and records it in the directory so the reader
+// dispatches per payload.
 
-// encodeIntra encodes an intranode graph: lists[k] is the local
-// adjacency of Ni's k-th page restricted to Ni.
-func encodeIntra(w *bitio.Writer, lists [][]int32, opt refenc.Options) error {
-	opt.TargetBound = uint64(len(lists)) // local IDs within Ni
-	_, err := refenc.EncodeLists(w, lists, opt)
-	return err
+// Codec encodes and decodes the three payload kinds over local ID
+// spaces. Encoders append to dst and return the extended slice; decoders
+// must validate that every produced local ID lies inside its bound and
+// reject corrupt input with an error (never panic). Decode results are
+// immutable once returned (they are shared through the graph cache).
+//
+// Encode methods take the build's refenc.Options; only codec/paper
+// consults it (reference window, gap code), the others ignore it. Decode
+// takes no options — every codec's wire format is self-describing.
+type Codec interface {
+	// ID is the codec's wire identifier, recorded per directory entry.
+	ID() uint8
+	// Name is the codec's stable human-readable name ("paper", ...).
+	Name() string
+
+	// EncodeIntra appends an intranode graph: lists[k] is the local
+	// adjacency of Ni's k-th page restricted to Ni (strictly increasing
+	// values in [0, len(lists))).
+	EncodeIntra(dst []byte, lists [][]int32, opt refenc.Options) ([]byte, error)
+	DecodeIntra(buf []byte, numLists int) (*decodedIntra, error)
+
+	// EncodeSuperPos appends a positive superedge graph. srcs are the
+	// local (within Ni) IDs of pages with at least one link into Nj,
+	// strictly increasing; lists are their targets as local Nj IDs.
+	EncodeSuperPos(dst []byte, srcs []int32, lists [][]int32, niSize, njSize int32, opt refenc.Options) ([]byte, error)
+	DecodeSuperPos(buf []byte, numSrcs int, niSize, njSize int32) (*decodedSuperPos, error)
+
+	// EncodeSuperNeg appends a negative superedge graph: lists[k] is the
+	// COMPLEMENT of the k-th Ni page's targets within Nj (so a page with
+	// no links into Nj stores all of Nj).
+	EncodeSuperNeg(dst []byte, complements [][]int32, njSize int32, opt refenc.Options) ([]byte, error)
+	DecodeSuperNeg(buf []byte, numLists int, njSize int32) (*decodedSuperNeg, error)
+}
+
+// Codec IDs. The ID is a wire value (directory entries reference it);
+// never renumber. codec/paper must stay 0: pre-codec artifacts carry no
+// codec field and read back as zero.
+const (
+	codecIDPaper uint8 = 0
+	codecIDLZ    uint8 = 1
+	codecIDLog   uint8 = 2
+	numCodecs          = 3
+)
+
+// Codec names accepted by Config.Codec and the -codec flags.
+const (
+	CodecPaper = "paper"
+	CodecLZ    = "lz"
+	CodecLog   = "log"
+	// CodecAuto is not a codec: it asks the builder to run the
+	// per-supernode bake-off over every registered codec.
+	CodecAuto = "auto"
+)
+
+// codecTable maps codec IDs to implementations. Indexed by wire ID.
+var codecTable = [numCodecs]Codec{
+	codecIDPaper: paperCodec{},
+	codecIDLZ:    lzCodec{},
+	codecIDLog:   logCodec{},
+}
+
+// codecByID returns the codec for a wire ID, or an error for IDs from a
+// future format version.
+func codecByID(id uint8) (Codec, error) {
+	if int(id) >= len(codecTable) {
+		return nil, fmt.Errorf("snode: unknown codec ID %d (artifact from a newer version?)", id)
+	}
+	return codecTable[id], nil
+}
+
+// codecByName resolves a Config.Codec / -codec string. The empty string
+// means the paper codec. CodecAuto is rejected here: it is a builder
+// policy, not a codec.
+func codecByName(name string) (Codec, error) {
+	switch name {
+	case "", CodecPaper:
+		return codecTable[codecIDPaper], nil
+	case CodecLZ:
+		return codecTable[codecIDLZ], nil
+	case CodecLog:
+		return codecTable[codecIDLog], nil
+	default:
+		return nil, fmt.Errorf("snode: unknown codec %q (want %s, %s, %s, or %s)",
+			name, CodecPaper, CodecLZ, CodecLog, CodecAuto)
+	}
+}
+
+// CodecNames lists the registered codec names in wire-ID order, plus
+// the "auto" policy — the accepted values for -codec flags.
+func CodecNames() []string {
+	names := make([]string, 0, numCodecs+1)
+	for _, c := range codecTable {
+		names = append(names, c.Name())
+	}
+	return append(names, CodecAuto)
 }
 
 // decodedIntra is the in-memory form of an intranode graph.
@@ -44,46 +142,6 @@ func (g *decodedIntra) memSize() int64 {
 		n += int64(len(l)) * 4
 	}
 	return n
-}
-
-func decodeIntra(buf []byte, numLists int) (*decodedIntra, error) {
-	r := bitio.NewByteReader(buf)
-	lists, err := refenc.DecodeListsBounded(r, numLists, uint64(numLists))
-	if err != nil {
-		return nil, fmt.Errorf("snode: intranode decode: %w", err)
-	}
-	if err := checkLocalIDs(lists, int32(numLists)); err != nil {
-		return nil, fmt.Errorf("snode: intranode decode: %w", err)
-	}
-	return &decodedIntra{lists: lists}, nil
-}
-
-// checkLocalIDs rejects decoded lists whose entries escape the local ID
-// space — the symptom of a corrupt graph payload that still parsed.
-// (The bounded codec constrains only each run's first value; gap sums
-// can overrun.)
-func checkLocalIDs(lists [][]int32, bound int32) error {
-	for _, l := range lists {
-		for _, v := range l {
-			if v < 0 || v >= bound {
-				return fmt.Errorf("local id %d outside [0,%d)", v, bound)
-			}
-		}
-	}
-	return nil
-}
-
-// encodeSuperPos encodes a positive superedge graph. srcs are the local
-// (within Ni) IDs of pages with at least one link into Nj, strictly
-// increasing; lists are their targets as local Nj IDs.
-func encodeSuperPos(w *bitio.Writer, srcs []int32, lists [][]int32, niSize, njSize int32, opt refenc.Options) error {
-	if len(srcs) != len(lists) {
-		return fmt.Errorf("snode: superPos %d sources but %d lists", len(srcs), len(lists))
-	}
-	coding.WriteBoundedGapList(w, srcs, uint64(niSize))
-	opt.TargetBound = uint64(njSize)
-	_, err := refenc.EncodeLists(w, lists, opt)
-	return err
 }
 
 // decodedSuperPos is the in-memory form of a positive superedge graph.
@@ -124,34 +182,6 @@ func (g *decodedSuperPos) targetsOf(srcLocal int32) []int32 {
 		return g.lists[lo]
 	}
 	return nil
-}
-
-func decodeSuperPos(buf []byte, numSrcs int, niSize, njSize int32) (*decodedSuperPos, error) {
-	r := bitio.NewByteReader(buf)
-	srcs, err := coding.ReadBoundedGapList(r, numSrcs, uint64(niSize), nil)
-	if err != nil {
-		return nil, fmt.Errorf("snode: superPos sources: %w", err)
-	}
-	lists, err := refenc.DecodeListsBounded(r, numSrcs, uint64(njSize))
-	if err != nil {
-		return nil, fmt.Errorf("snode: superPos lists: %w", err)
-	}
-	if err := checkLocalIDs([][]int32{srcs}, niSize); err != nil {
-		return nil, fmt.Errorf("snode: superPos sources: %w", err)
-	}
-	if err := checkLocalIDs(lists, njSize); err != nil {
-		return nil, fmt.Errorf("snode: superPos lists: %w", err)
-	}
-	return &decodedSuperPos{srcs: srcs, lists: lists}, nil
-}
-
-// encodeSuperNeg encodes a negative superedge graph: lists[k] is the
-// COMPLEMENT of the k-th Ni page's targets within Nj (so a page with no
-// links into Nj stores all of Nj). Decoders need |Nj| to invert.
-func encodeSuperNeg(w *bitio.Writer, complements [][]int32, njSize int32, opt refenc.Options) error {
-	opt.TargetBound = uint64(njSize)
-	_, err := refenc.EncodeLists(w, complements, opt)
-	return err
 }
 
 // decodedSuperNeg keeps the complement form; positive adjacency is
@@ -195,16 +225,19 @@ func (g *decodedSuperNeg) appendTargets(srcLocal int32, dst []int32) []int32 {
 	return dst
 }
 
-func decodeSuperNeg(buf []byte, numLists int, njSize int32) (*decodedSuperNeg, error) {
-	r := bitio.NewByteReader(buf)
-	lists, err := refenc.DecodeListsBounded(r, numLists, uint64(njSize))
-	if err != nil {
-		return nil, fmt.Errorf("snode: superNeg decode: %w", err)
+// checkLocalIDs rejects lists whose entries escape the local ID space.
+// Production decode paths validate inline (fused into each codec's
+// decode loop); this remains as the oracle the fuzz and corruption
+// tests compare the fused checks against.
+func checkLocalIDs(lists [][]int32, bound int32) error {
+	for _, l := range lists {
+		for _, v := range l {
+			if v < 0 || v >= bound {
+				return fmt.Errorf("local id %d outside [0,%d)", v, bound)
+			}
+		}
 	}
-	if err := checkLocalIDs(lists, njSize); err != nil {
-		return nil, fmt.Errorf("snode: superNeg decode: %w", err)
-	}
-	return &decodedSuperNeg{njSize: njSize, lists: lists}, nil
+	return nil
 }
 
 // complement returns [0,n) \ list (list sorted strictly increasing).

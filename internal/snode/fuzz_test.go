@@ -1,0 +1,161 @@
+package snode
+
+import (
+	"testing"
+
+	"snode/internal/refenc"
+)
+
+// Fuzz harnesses for the codec layer. Run continuously with
+//
+//	go test -fuzz=FuzzDecodeHostile ./internal/snode
+//
+// Under plain `go test` the seed corpus below still executes, so these
+// double as regression tests for every crasher that gets minimized
+// into testdata/fuzz/.
+
+// listsFromBytes deterministically derives a strictly-increasing list
+// set over [0, size) from raw fuzz bytes: byte i*size+v odd → v ∈ lists[i].
+func listsFromBytes(data []byte, numLists int, size int32) [][]int32 {
+	lists := make([][]int32, numLists)
+	for i := 0; i < numLists; i++ {
+		for v := int32(0); v < size; v++ {
+			idx := i*int(size) + int(v)
+			if idx < len(data) && data[idx]&1 == 1 {
+				lists[i] = append(lists[i], v)
+			}
+		}
+	}
+	return lists
+}
+
+// FuzzCodecRoundTrip drives arbitrary list shapes through every codec
+// and payload kind and requires exact decode identity.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(9), []byte{})
+	f.Add(uint8(16), uint8(23), []byte{0xFF, 0x00, 0xAB, 0x11, 0x7E})
+	f.Add(uint8(1), uint8(1), []byte{1})
+	f.Add(uint8(64), uint8(64), []byte("the quick brown fox jumps over the lazy dog"))
+	opt := refenc.Options{Window: refenc.DefaultWindow}
+	f.Fuzz(func(t *testing.T, nl, sz uint8, data []byte) {
+		numLists := int(nl)%64 + 1
+		size := int32(sz)%64 + 1
+		// Intranode lists live in [0, numLists); target lists in [0, size).
+		intra := listsFromBytes(data, numLists, int32(numLists))
+		lists := listsFromBytes(data, numLists, size)
+		srcs, nonEmpty := srcsAndLists(lists)
+		for _, cd := range codecTable {
+			blob, err := cd.EncodeIntra(nil, intra, opt)
+			if err != nil {
+				t.Fatalf("%s: encode intra: %v", cd.Name(), err)
+			}
+			gi, err := cd.DecodeIntra(blob, numLists)
+			if err != nil {
+				t.Fatalf("%s: decode intra: %v", cd.Name(), err)
+			}
+			if !listsEqual(gi.lists, intra) {
+				t.Fatalf("%s: intra round trip mismatch", cd.Name())
+			}
+
+			blob, err = cd.EncodeSuperPos(nil, srcs, nonEmpty, int32(numLists), size, opt)
+			if err != nil {
+				t.Fatalf("%s: encode superPos: %v", cd.Name(), err)
+			}
+			gp, err := cd.DecodeSuperPos(blob, len(srcs), int32(numLists), size)
+			if err != nil {
+				t.Fatalf("%s: decode superPos: %v", cd.Name(), err)
+			}
+			if !listsEqual(gp.lists, nonEmpty) || len(gp.srcs) != len(srcs) {
+				t.Fatalf("%s: superPos round trip mismatch", cd.Name())
+			}
+			for i := range srcs {
+				if gp.srcs[i] != srcs[i] {
+					t.Fatalf("%s: superPos src %d mismatch", cd.Name(), i)
+				}
+			}
+
+			blob, err = cd.EncodeSuperNeg(nil, lists, size, opt)
+			if err != nil {
+				t.Fatalf("%s: encode superNeg: %v", cd.Name(), err)
+			}
+			gn, err := cd.DecodeSuperNeg(blob, numLists, size)
+			if err != nil {
+				t.Fatalf("%s: decode superNeg: %v", cd.Name(), err)
+			}
+			if !listsEqual(gn.lists, lists) {
+				t.Fatalf("%s: superNeg round trip mismatch", cd.Name())
+			}
+		}
+	})
+}
+
+// hostileSeed builds a valid encoding so the fuzzer starts from
+// structurally interesting bytes rather than pure noise.
+func hostileSeed(f *testing.F, cd Codec, kind uint8) {
+	opt := refenc.Options{Window: refenc.DefaultWindow}
+	// Seven lists over [0,7): a valid shape for all three kinds (intra
+	// lists live in [0, len(lists))).
+	lists := [][]int32{{0, 2, 5}, {}, {1, 3, 4, 6}, {6}, {}, {0}, {2, 3}}
+	var blob []byte
+	var err error
+	switch kind {
+	case kindIntra:
+		blob, err = cd.EncodeIntra(nil, lists, opt)
+	case kindSuperPos:
+		srcs, nonEmpty := srcsAndLists(lists)
+		blob, err = cd.EncodeSuperPos(nil, srcs, nonEmpty, 7, 7, opt)
+	default:
+		blob, err = cd.EncodeSuperNeg(nil, lists, 7, opt)
+	}
+	if err != nil {
+		f.Fatal(err)
+	}
+	// 6 → numLists/size 7 after the fuzz body's %128+1 mapping, so the
+	// seed decodes cleanly and exercises the bounds oracle.
+	f.Add(cd.ID(), kind, uint8(6), uint8(6), blob)
+}
+
+// FuzzDecodeHostile feeds arbitrary bytes to every codec's decoders and
+// requires: no panic, and — whenever a decode still succeeds — every
+// emitted local ID inside its declared space (checkLocalIDs is the
+// oracle for the fused bounds checks).
+func FuzzDecodeHostile(f *testing.F) {
+	for _, cd := range codecTable {
+		for _, kind := range []uint8{kindIntra, kindSuperPos, kindSuperNeg} {
+			hostileSeed(f, cd, kind)
+		}
+	}
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), []byte{})
+	f.Add(uint8(2), uint8(1), uint8(255), uint8(255), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, id, kind, nl, sz uint8, blob []byte) {
+		cd := codecTable[int(id)%numCodecs]
+		numLists := int(nl)%128 + 1
+		size := int32(sz)%128 + 1
+		switch kind % 3 {
+		case kindIntra:
+			g, err := cd.DecodeIntra(blob, numLists)
+			if err == nil {
+				if oerr := checkLocalIDs(g.lists, int32(numLists)); oerr != nil {
+					t.Fatalf("%s: intra decode accepted out-of-bounds IDs: %v", cd.Name(), oerr)
+				}
+			}
+		case kindSuperPos:
+			g, err := cd.DecodeSuperPos(blob, numLists, int32(numLists), size)
+			if err == nil {
+				if oerr := checkLocalIDs([][]int32{g.srcs}, int32(numLists)); oerr != nil {
+					t.Fatalf("%s: superPos srcs out of bounds: %v", cd.Name(), oerr)
+				}
+				if oerr := checkLocalIDs(g.lists, size); oerr != nil {
+					t.Fatalf("%s: superPos lists out of bounds: %v", cd.Name(), oerr)
+				}
+			}
+		default:
+			g, err := cd.DecodeSuperNeg(blob, numLists, size)
+			if err == nil {
+				if oerr := checkLocalIDs(g.lists, size); oerr != nil {
+					t.Fatalf("%s: superNeg decode accepted out-of-bounds IDs: %v", cd.Name(), oerr)
+				}
+			}
+		}
+	})
+}

@@ -14,8 +14,12 @@ import (
 // inspectable, and independent of Go type details.
 
 const (
-	metaMagic   = 0x534E4F44 // "SNOD"
-	metaVersion = 1
+	metaMagic = 0x534E4F44 // "SNOD"
+	// metaVersion 2 added per-directory-entry codec IDs and the
+	// per-codec stats section. Version 1 artifacts predate pluggable
+	// codecs and are still read: every payload is codec/paper (ID 0).
+	metaVersion  = 2
+	metaVersion1 = 1
 )
 
 type metaWriter struct {
@@ -166,6 +170,7 @@ func writeMeta(path string, m *meta) error {
 		mw.varint(e.Offset)
 		mw.varint(int64(e.NumBytes))
 		mw.varint(int64(e.NumLists))
+		mw.uvarint(uint64(e.Codec)) // v2
 	}
 	mw.i64s(m.FileSizes)
 	st := &m.Stats
@@ -180,6 +185,14 @@ func writeMeta(path string, m *meta) error {
 	mw.varint(int64(st.URLSplits))
 	mw.varint(int64(st.ClusteredSplits))
 	mw.varint(int64(st.BuildTime))
+	mw.uvarint(uint64(len(st.Codecs))) // v2
+	for _, cs := range st.Codecs {
+		mw.uvarint(uint64(cs.ID))
+		mw.varint(cs.Supernodes)
+		mw.varint(cs.Graphs)
+		mw.varint(cs.Bytes)
+		mw.varint(cs.Edges)
+	}
 	if mw.err != nil {
 		f.Close()
 		return fmt.Errorf("snode: write meta: %w", mw.err)
@@ -201,7 +214,8 @@ func readMeta(path string) (*meta, error) {
 	if mr.uvarint() != metaMagic {
 		return nil, fmt.Errorf("snode: %s: bad magic", path)
 	}
-	if v := mr.uvarint(); v != metaVersion {
+	v := mr.uvarint()
+	if v != metaVersion && v != metaVersion1 {
 		return nil, fmt.Errorf("snode: %s: unsupported version %d", path, v)
 	}
 	m := &meta{}
@@ -238,6 +252,10 @@ func readMeta(path string) (*meta, error) {
 			e.Offset = mr.varint()
 			e.NumBytes = int32(mr.varint())
 			e.NumLists = int32(mr.varint())
+			if v >= metaVersion {
+				e.Codec = uint8(mr.uvarint())
+			}
+			// v1 entries predate codecs: Codec stays 0 = codec/paper.
 		}
 	}
 	m.FileSizes = mr.i64s()
@@ -253,11 +271,48 @@ func readMeta(path string) (*meta, error) {
 	st.URLSplits = int(mr.varint())
 	st.ClusteredSplits = int(mr.varint())
 	st.BuildTime = time.Duration(mr.varint())
+	if v >= metaVersion {
+		nc := mr.uvarint()
+		if mr.err == nil && nc > numCodecs {
+			return nil, fmt.Errorf("snode: %s: implausible codec stat count %d", path, nc)
+		}
+		if mr.err == nil {
+			st.Codecs = make([]CodecBuildStat, nc)
+			for i := range st.Codecs {
+				cs := &st.Codecs[i]
+				cs.ID = uint8(mr.uvarint())
+				cs.Supernodes = mr.varint()
+				cs.Graphs = mr.varint()
+				cs.Bytes = mr.varint()
+				cs.Edges = mr.varint()
+				if c, err := codecByID(cs.ID); err == nil {
+					cs.Name = c.Name()
+				}
+			}
+		}
+	}
 	if mr.err != nil {
 		return nil, fmt.Errorf("snode: read meta: %w", mr.err)
 	}
 	if err := m.validate(); err != nil {
 		return nil, fmt.Errorf("snode: %s: %w", path, err)
+	}
+	if v == metaVersion1 {
+		// Pre-codec artifact: every payload is codec/paper. Synthesize
+		// the composition record so Codecs() and the per-codec metrics
+		// behave uniformly (stored edge counts were not recorded then
+		// and stay zero).
+		var payloadBytes int64
+		for i := range m.Directory {
+			payloadBytes += int64(m.Directory[i].NumBytes)
+		}
+		m.Stats.Codecs = []CodecBuildStat{{
+			ID:         codecIDPaper,
+			Name:       CodecPaper,
+			Supernodes: int64(m.Stats.Supernodes),
+			Graphs:     int64(len(m.Directory)),
+			Bytes:      payloadBytes,
+		}}
 	}
 	return m, nil
 }
@@ -348,6 +403,9 @@ func (m *meta) validate() error {
 		case kindIntra, kindSuperPos, kindSuperNeg:
 		default:
 			return fmt.Errorf("graph %d has unknown kind %d", gi, e.Kind)
+		}
+		if _, err := codecByID(e.Codec); err != nil {
+			return fmt.Errorf("graph %d: %w", gi, err)
 		}
 		if e.Kind != kindIntra {
 			if e.I < 0 || int(e.I) >= nSN || e.J < 0 || int(e.J) >= nSN {

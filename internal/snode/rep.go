@@ -41,6 +41,11 @@ type Representation struct {
 	// graph decode (atomic pointer: registration may race with serving).
 	decodeHist atomic.Pointer[metrics.Histogram]
 
+	// codecHists, when set via RegisterMetrics, times decodes per wire
+	// codec (indexed by codec ID), so a mixed "auto" artifact shows
+	// which codec its cache misses actually pay for.
+	codecHists [numCodecs]atomic.Pointer[metrics.Histogram]
+
 	// decodeFault, when non-nil, is consulted before every decode — the
 	// fault-injection hook the error-path regression tests use to fail a
 	// mid-span decode on demand. Set it before serving; nil in
@@ -160,6 +165,32 @@ func (r *Representation) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_hedge_losses", r.hedgeLosses.Load)
 	reg.GaugeFunc(prefix+"_inflight_decodes", r.cache.inflightCount)
 	r.decodeHist.Store(reg.Histogram(prefix+"_decode_seconds", nil))
+	// Per-codec rows: decode latency histograms plus the artifact's
+	// static composition (graphs/bytes/edges per wire format, and
+	// bits-per-edge in milli-bits since gauges are integers). Rows exist
+	// for every registered codec so dashboards have a stable schema;
+	// codecs absent from the artifact report zero.
+	for id, cd := range codecTable {
+		name := cd.Name()
+		r.codecHists[id].Store(reg.Histogram(prefix+"_decode_seconds_"+name, nil))
+		var st CodecBuildStat
+		for _, cs := range r.m.Stats.Codecs {
+			if int(cs.ID) == id {
+				st = cs
+				break
+			}
+		}
+		reg.GaugeFunc(prefix+"_codec_supernodes_"+name, func() int64 { return st.Supernodes })
+		reg.GaugeFunc(prefix+"_codec_graphs_"+name, func() int64 { return st.Graphs })
+		reg.GaugeFunc(prefix+"_codec_bytes_"+name, func() int64 { return st.Bytes })
+		reg.GaugeFunc(prefix+"_codec_edges_"+name, func() int64 { return st.Edges })
+		reg.GaugeFunc(prefix+"_bits_per_edge_milli_"+name, func() int64 {
+			if st.Edges == 0 {
+				return 0
+			}
+			return st.Bytes * 8 * 1000 / st.Edges
+		})
+	}
 }
 
 // ResetStats implements store.LinkStore. The buffer manager's contents
@@ -456,30 +487,50 @@ func (r *Representation) decodeTraced(ctx context.Context, gid GraphID, buf []by
 	return g, err
 }
 
-// decode parses one graph's encoded bytes into its in-memory form.
+// decode parses one graph's encoded bytes into its in-memory form,
+// dispatching on the directory entry's codec ID (validated at Open, so
+// the table lookup cannot miss).
 func (r *Representation) decode(gid GraphID, buf []byte) (decodedGraph, error) {
 	if r.decodeFault != nil {
 		if err := r.decodeFault(gid); err != nil {
 			return nil, err
 		}
 	}
-	if h := r.decodeHist.Load(); h != nil {
-		start := time.Now()
-		defer func() { h.ObserveDuration(time.Since(start)) }()
-	}
 	e := &r.m.Directory[gid]
+	h := r.decodeHist.Load()
+	hc := r.codecHists[e.Codec].Load()
+	if h != nil || hc != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			if h != nil {
+				h.ObserveDuration(d)
+			}
+			if hc != nil {
+				hc.ObserveDuration(d)
+			}
+		}()
+	}
+	return r.decodePayload(e, buf)
+}
+
+// decodePayload is the bare codec dispatch: no hooks, no metrics. The
+// serving path reaches it through decode; MeasureDecode times it
+// directly.
+func (r *Representation) decodePayload(e *dirEntry, buf []byte) (decodedGraph, error) {
+	cd := codecTable[e.Codec]
 	switch e.Kind {
 	case kindIntra:
-		return decodeIntra(buf, int(e.NumLists))
+		return cd.DecodeIntra(buf, int(e.NumLists))
 	case kindSuperPos:
 		niSize := r.m.SnBase[e.I+1] - r.m.SnBase[e.I]
 		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
-		return decodeSuperPos(buf, int(e.NumLists), niSize, njSize)
+		return cd.DecodeSuperPos(buf, int(e.NumLists), niSize, njSize)
 	case kindSuperNeg:
 		njSize := r.m.SnBase[e.J+1] - r.m.SnBase[e.J]
-		return decodeSuperNeg(buf, int(e.NumLists), njSize)
+		return cd.DecodeSuperNeg(buf, int(e.NumLists), njSize)
 	default:
-		return nil, fmt.Errorf("snode: graph %d has unknown kind %d", gid, e.Kind)
+		return nil, fmt.Errorf("snode: graph has unknown kind %d", e.Kind)
 	}
 }
 
@@ -851,3 +902,107 @@ func (r *Representation) Verify() error {
 // count (Figure 9 metrics).
 func (r *Representation) Supernodes() int   { return r.m.Stats.Supernodes }
 func (r *Representation) Superedges() int64 { return r.m.Stats.Superedges }
+
+// Codecs reports the artifact's per-codec composition as recorded at
+// build time (one entry per codec that encoded at least one supernode).
+// Version-1 artifacts predate the record; readMeta synthesizes a
+// paper-only entry for them, so the slice is never empty for a valid
+// artifact.
+func (r *Representation) Codecs() []CodecBuildStat {
+	return append([]CodecBuildStat(nil), r.m.Stats.Codecs...)
+}
+
+// DecodeCost is one (codec, payload kind) row of MeasureDecode: the
+// cost of decoding every payload of that class in the artifact.
+type DecodeCost struct {
+	Codec  string `json:"codec"`
+	Kind   string `json:"kind"` // "intra", "super_pos", "super_neg"
+	Graphs int64  `json:"graphs"`
+	Bytes  int64  `json:"bytes"`
+	Edges  int64  `json:"edges"` // stored (list) edges
+	Ns     int64  `json:"ns"`    // fastest whole-class decode round
+}
+
+func kindName(kind uint8) string {
+	switch kind {
+	case kindIntra:
+		return "intra"
+	case kindSuperPos:
+		return "super_pos"
+	case kindSuperNeg:
+		return "super_neg"
+	}
+	return fmt.Sprintf("kind_%d", kind)
+}
+
+// MeasureDecode reads every payload in the directory once, then times
+// `rounds` full decode passes and reports, per (codec, kind) class, the
+// bytes, stored edges, and the fastest round's decode nanoseconds. The
+// payload bytes are read up front so the measurement is pure CPU decode
+// cost — no I/O, no cache, no metrics hooks. It is the instrument
+// behind the codec bake-off grid; serving is unaffected (the graph
+// cache is bypassed entirely).
+func (r *Representation) MeasureDecode(rounds int) ([]DecodeCost, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	bufs := make([][]byte, len(r.m.Directory))
+	for gid := range r.m.Directory {
+		e := &r.m.Directory[gid]
+		buf := make([]byte, e.NumBytes)
+		if _, err := r.files[e.File].ReadAtCtx(context.Background(), buf, e.Offset); err != nil {
+			return nil, fmt.Errorf("snode: measure read graph %d: %w", gid, err)
+		}
+		bufs[gid] = buf
+	}
+	type classKey struct {
+		codec uint8
+		kind  uint8
+	}
+	agg := map[classKey]*DecodeCost{}
+	// Static tallies (and a correctness pass) once, untimed.
+	for gid := range r.m.Directory {
+		e := &r.m.Directory[gid]
+		g, err := r.decodePayload(e, bufs[gid])
+		if err != nil {
+			return nil, fmt.Errorf("snode: measure decode graph %d: %w", gid, err)
+		}
+		k := classKey{e.Codec, e.Kind}
+		dc := agg[k]
+		if dc == nil {
+			dc = &DecodeCost{Codec: codecTable[e.Codec].Name(), Kind: kindName(e.Kind)}
+			agg[k] = dc
+		}
+		dc.Graphs++
+		dc.Bytes += int64(e.NumBytes)
+		dc.Edges += g.edgeCount()
+	}
+	for round := 0; round < rounds; round++ {
+		perClass := map[classKey]int64{}
+		for gid := range r.m.Directory {
+			e := &r.m.Directory[gid]
+			k := classKey{e.Codec, e.Kind}
+			start := time.Now()
+			if _, err := r.decodePayload(e, bufs[gid]); err != nil {
+				return nil, err
+			}
+			perClass[k] += time.Since(start).Nanoseconds()
+		}
+		for k, ns := range perClass {
+			if round == 0 || ns < agg[k].Ns {
+				agg[k].Ns = ns
+			}
+		}
+	}
+	out := make([]DecodeCost, 0, len(agg))
+	for _, dc := range agg {
+		out = append(out, *dc)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Codec != out[b].Codec {
+			return out[a].Codec < out[b].Codec
+		}
+		return out[a].Kind < out[b].Kind
+	})
+	return out, nil
+}

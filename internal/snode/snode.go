@@ -63,8 +63,18 @@ const (
 type Config struct {
 	// Partition configures the iterative refinement (§3.2).
 	Partition partition.Config
-	// Refenc configures reference encoding of the lower-level graphs.
+	// Refenc configures reference encoding of the lower-level graphs
+	// (consulted by codec/paper; the other codecs ignore it).
 	Refenc refenc.Options
+	// Codec selects the wire format of the lower-level graphs: "paper"
+	// (or empty, the default — the refenc scheme of §3), "lz", "log", or
+	// "auto". Auto runs a per-supernode bake-off: every registered codec
+	// encodes the supernode's graphs, the candidates are scored by
+	// size x measured decode time, and the winner is recorded per
+	// directory entry so readers dispatch per payload. Fixed codecs keep
+	// builds byte-deterministic; auto's timing-based choice may differ
+	// between runs (the artifact stays self-describing either way).
+	Codec string
 	// MaxFileSize bounds each index file (paper: 500 MB). Lower values
 	// exercise the multi-file layout in tests.
 	MaxFileSize int64
@@ -109,6 +119,7 @@ type dirEntry struct {
 	Offset   int64 // byte offset within the file
 	NumBytes int32
 	NumLists int32 // lists in the encoded stream (see codec)
+	Codec    uint8 // wire format of the payload (codec IDs in codec.go)
 }
 
 // meta is everything held permanently in memory (and serialized to
@@ -167,6 +178,19 @@ type BuildStats struct {
 	// BuildTime is reported by Build but serialized as zero, keeping
 	// meta.bin byte-identical across builds of the same corpus.
 	BuildTime time.Duration
+	// Codecs breaks the index files down by wire format: one entry per
+	// codec that encoded at least one supernode, in codec-ID order.
+	Codecs []CodecBuildStat
+}
+
+// CodecBuildStat reports one codec's share of an artifact.
+type CodecBuildStat struct {
+	ID         uint8
+	Name       string
+	Supernodes int64 // supernodes whose payloads use this codec
+	Graphs     int64 // directory entries
+	Bytes      int64 // encoded payload bytes
+	Edges      int64 // edges stored in those payloads
 }
 
 // SizeBytes is the Table 1 accounting: index files plus the in-memory

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"testing"
@@ -408,7 +409,7 @@ func TestMetaRoundTrip(t *testing.T) {
 			t.Fatalf("perm entry %d differs", i)
 		}
 	}
-	if m1.Stats != m2.Stats {
+	if !reflect.DeepEqual(m1.Stats, m2.Stats) {
 		t.Fatal("stats differ")
 	}
 }

@@ -95,8 +95,11 @@ func ReadBoundedGapList(r *bitio.Reader, n int, bound uint64, dst []int32) ([]in
 		if err != nil {
 			return dst, err
 		}
+		// d spans the full uint64 range, so int64(d) can be negative or
+		// wrap the sum past MaxInt64 (which lands negative, since cur is
+		// non-negative); nv < 0 || nv >= bound rejects every corrupt gap.
 		nv := int64(cur) + int64(d)
-		if nv >= int64(bound) {
+		if nv < 0 || nv >= int64(bound) {
 			return dst, ErrBadCode
 		}
 		cur = int32(nv)

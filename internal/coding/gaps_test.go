@@ -1,0 +1,28 @@
+package coding
+
+import (
+	"errors"
+	"testing"
+
+	"snode/internal/bitio"
+)
+
+// A gamma gap of 2^63 or more makes int64(d) negative, so a naive
+// nv >= bound check passes and int32 truncation emits an in-range-looking
+// ID (e.g. gap 2^63+5 under bound 1 used to decode to [0 5]). The fused
+// bounds check must reject such gaps with ErrBadCode.
+func TestReadBoundedGapListRejectsOverflowGap(t *testing.T) {
+	for _, gap := range []uint64{1 << 63, 1<<63 + 5, 1<<64 - 1} {
+		w := bitio.NewWriter(0)
+		WriteMinimalBinary(w, 0, 1)
+		WriteGamma(w, gap)
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		got, err := ReadBoundedGapList(r, 2, 1, nil)
+		if err == nil {
+			t.Fatalf("gap %d under bound 1 accepted: %v", gap, got)
+		}
+		if !errors.Is(err, ErrBadCode) {
+			t.Fatalf("gap %d: got %v, want ErrBadCode", gap, err)
+		}
+	}
+}

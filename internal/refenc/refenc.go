@@ -284,9 +284,13 @@ func readRun(r *bitio.Reader, n int, bound uint64, gc GapCode, dst []int32) ([]i
 			return dst, err
 		}
 		if bound > 0 {
+			// d spans the full uint64 range, so int64(d) can be negative
+			// or wrap the sum past MaxInt64 (which lands negative, since
+			// cur is non-negative); nv < 0 || nv >= bound rejects every
+			// corrupt gap.
 			nv := int64(cur) + int64(d)
-			if nv >= int64(bound) {
-				return dst, fmt.Errorf("refenc: run value %d outside [0,%d)", nv, bound)
+			if nv < 0 || nv >= int64(bound) {
+				return dst, fmt.Errorf("refenc: gap %d escapes run bound [0,%d)", d, bound)
 			}
 			cur = int32(nv)
 		} else {

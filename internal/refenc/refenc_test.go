@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"snode/internal/bitio"
+	"snode/internal/coding"
 	"snode/internal/randutil"
 )
 
@@ -357,4 +358,37 @@ func TestZetaGapCodeCompetitive(t *testing.T) {
 		t.Fatalf("ζ_3 is %.2fx gamma on power-law gaps", ratio)
 	}
 	t.Logf("gamma=%d bits, zeta3=%d bits (ratio %.3f)", sizes[GapGamma], sizes[GapZeta3], ratio)
+}
+
+// A coded gap of 2^63 or more makes int64(d) negative, so a naive
+// nv >= bound check passes and int32 truncation emits an
+// in-range-looking ID. readRun's fused bounds check must reject it.
+func TestReadRunRejectsOverflowGap(t *testing.T) {
+	for _, gap := range []uint64{1 << 63, 1<<63 + 5, 1<<64 - 1} {
+		w := bitio.NewWriter(0)
+		coding.WriteMinimalBinary(w, 0, 1)
+		coding.WriteGamma(w, gap)
+		r := bitio.NewReader(w.Bytes(), w.BitLen())
+		got, err := readRun(r, 2, 1, GapGamma, nil)
+		if err == nil {
+			t.Fatalf("gap %d under bound 1 accepted: %v", gap, got)
+		}
+	}
+}
+
+// The same hole through the public decode path: a direct windowed list
+// of two values under bound 1 whose gap is 2^63+5 must fail to decode,
+// not come back as [0 5].
+func TestDecodeListsBoundedRejectsOverflowGap(t *testing.T) {
+	w := bitio.NewWriter(0)
+	w.WriteBit(0)                         // window strategy
+	w.WriteBits(uint64(GapGamma), 2)      // gap code
+	coding.WriteGamma0(w, 0)              // no reference
+	coding.WriteGamma0(w, 2)              // degree 2
+	coding.WriteMinimalBinary(w, 0, 1)    // first value: zero bits under bound 1
+	coding.WriteGamma(w, uint64(1)<<63+5) // corrupt gap
+	r := bitio.NewReader(w.Bytes(), w.BitLen())
+	if lists, err := DecodeListsBounded(r, 1, 1); err == nil {
+		t.Fatalf("overflow gap accepted: %v", lists)
+	}
 }

@@ -107,9 +107,13 @@ func (d *lzDecoder) run(n int, last int64, bound int64) error {
 		if g == 0 {
 			return fmt.Errorf("snode/lz: zero gap at byte %d", d.pos)
 		}
+		// A hostile gap can make int64(g) negative (g >= 2^63) or wrap
+		// last+int64(g) past MaxInt64; both land below zero (the one
+		// underflow case, last == -1 with int64(g) == MinInt64, wraps to
+		// MaxInt64), so nv < 0 || nv >= bound rejects every corrupt gap.
 		nv := last + int64(g)
-		if nv >= bound {
-			return fmt.Errorf("snode/lz: local id %d outside [0,%d)", nv, bound)
+		if nv < 0 || nv >= bound {
+			return fmt.Errorf("snode/lz: gap %d at byte %d escapes [0,%d)", g, d.pos, bound)
 		}
 		d.vals = append(d.vals, int32(nv))
 		last = nv

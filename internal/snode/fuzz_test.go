@@ -1,8 +1,11 @@
 package snode
 
 import (
+	"encoding/binary"
 	"testing"
 
+	"snode/internal/bitio"
+	"snode/internal/coding"
 	"snode/internal/refenc"
 )
 
@@ -115,6 +118,46 @@ func hostileSeed(f *testing.F, cd Codec, kind uint8) {
 	f.Add(cd.ID(), kind, uint8(6), uint8(6), blob)
 }
 
+// overflowSeeds are minimized crashers for the signed-overflow hole the
+// fused bounds checks close: a coded gap of 2^63+5 makes int64(g)
+// negative, slips past a bare nv >= bound comparison, and int32
+// truncation emits an in-range-looking local ID (e.g. [0 5] under bound
+// 1). Committed as f.Add seeds so plain `go test` — the test-codec gate
+// — replays them against the bounds oracle on every run.
+func overflowSeeds(f *testing.F) {
+	const hugeGap = uint64(1)<<63 + 5
+
+	// codec/lz superNeg: one list under bound 1 — p=0, l=2, gaps {1, 2^63+5}.
+	lz := binary.AppendUvarint(nil, 0)
+	lz = binary.AppendUvarint(lz, 2)
+	lz = binary.AppendUvarint(lz, 1)
+	lz = binary.AppendUvarint(lz, hugeGap)
+	f.Add(codecIDLZ, kindSuperNeg, uint8(0), uint8(0), lz)
+
+	// codec/paper superPos: two sources under niSize 2 with a gamma gap
+	// of 2^63+5 (exercises coding.ReadBoundedGapList), followed by two
+	// valid empty target lists so a decoder that accepts the corrupt
+	// sources still returns them to the oracle.
+	w := bitio.NewWriter(0)
+	coding.WriteMinimalBinary(w, 0, 2)
+	coding.WriteGamma(w, hugeGap)
+	if _, err := refenc.EncodeLists(w, [][]int32{{}, {}}, refenc.Options{TargetBound: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(codecIDPaper, kindSuperPos, uint8(1), uint8(0), w.Bytes())
+
+	// codec/paper superNeg: one direct refenc list of two values under
+	// bound 1 whose gap is 2^63+5 (exercises refenc.readRun).
+	w = bitio.NewWriter(0)
+	w.WriteBit(0)                           // window strategy
+	w.WriteBits(uint64(refenc.GapGamma), 2) // gap code
+	coding.WriteGamma0(w, 0)                // no reference
+	coding.WriteGamma0(w, 2)                // degree 2
+	coding.WriteMinimalBinary(w, 0, 1)      // first value: zero bits under bound 1
+	coding.WriteGamma(w, hugeGap)           // corrupt gap
+	f.Add(codecIDPaper, kindSuperNeg, uint8(0), uint8(0), w.Bytes())
+}
+
 // FuzzDecodeHostile feeds arbitrary bytes to every codec's decoders and
 // requires: no panic, and — whenever a decode still succeeds — every
 // emitted local ID inside its declared space (checkLocalIDs is the
@@ -125,6 +168,7 @@ func FuzzDecodeHostile(f *testing.F) {
 			hostileSeed(f, cd, kind)
 		}
 	}
+	overflowSeeds(f)
 	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), []byte{})
 	f.Add(uint8(2), uint8(1), uint8(255), uint8(255), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, id, kind, nl, sz uint8, blob []byte) {

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec check bench bench-json bench-build bench-update bench-load bench-shard bench-obs bench-codec clean
+.PHONY: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec test-ingest check bench bench-json bench-build bench-update bench-load bench-shard bench-obs bench-codec bench-ingest clean
 
 build:
 	$(GO) build ./...
@@ -92,7 +92,23 @@ test-codec:
 	$(GO) test -count=1 -run 'TestShardBuildCarriesCodec' ./internal/shard
 	$(GO) test -count=1 -run 'TestRegistryEntriesAreWellFormed' ./cmd/snbench
 
-check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec
+# Ingestion gate: the hostile-input parser table (comments, CRLF,
+# duplicate edges, self-loops, sparse 64-bit IDs, truncated gzip,
+# checksum mismatch), the URL-table universe semantics, the
+# spill-vs-in-memory graph equivalence, the golden end-to-end oracle
+# (synth -> export -> ingest -> build byte-identical to the direct
+# build at every worker count, heap budget and refinement spill rounds
+# engaged), the committed-fixture format pin, the partition spill-round
+# bit-identity suite, and the snbench registry check that
+# `-experiment all` includes `ingest`. Run with -count=1 so the gate
+# always executes.
+test-ingest:
+	$(GO) test -count=1 ./internal/ingest
+	$(GO) test -count=1 -run 'TestRefineSpill|TestEncodeDecodeGroups|TestDecodeGroupsCorrupt|TestRoundSpill' ./internal/partition
+	$(GO) test -count=1 -run 'TestSpill' ./internal/iosim
+	$(GO) test -count=1 -run 'TestAllCoversEveryRegisteredExperiment' ./cmd/snbench
+
+check: build vet test test-race check-overhead test-determinism test-delta-race test-load test-shard test-obs test-codec test-ingest
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -157,6 +173,19 @@ bench-obs:
 # artifact's default-budget p99 does not regress against paper.
 bench-codec:
 	$(GO) run ./cmd/snbench -experiment codecs -quick -codec-out BENCH_PR9.json
+
+# Ingestion scaling artifact: the 100k/300k/1M-page curve through the
+# full external-memory pipeline — synth corpus exported as a SNAP edge
+# list (+ URL table + sha256 manifest), re-ingested under the 32 MB
+# heap budget (sorted runs, k-way merge), built with refinement spill
+# rounds on — vs the direct in-memory build of the same corpus at each
+# size. The summary pins the PR's gates: the largest size spills and
+# its transient ingest state respects the budget, every S-Node artifact
+# hashes identical to the direct build, and the six queries return
+# identical rows. Full scale (no -quick): the 1M-page point is the
+# acceptance criterion.
+bench-ingest:
+	$(GO) run ./cmd/snbench -experiment ingest -ingest-out BENCH_PR10.json
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@
 //	snbench -experiment load         # open-loop latency vs offered load
 //	snbench -experiment shard        # distributed serving QPS vs shard count
 //	snbench -experiment obs          # fleet observability plane end to end
+//	snbench -experiment ingest       # external-memory ingestion scaling curve
 //
 // -quick runs a reduced scale for smoke testing.
 //
@@ -45,6 +46,7 @@ type runFlags struct {
 	shardOut  string
 	obsOut    string
 	codecOut  string
+	ingestOut string
 }
 
 // experimentSpec is one registry entry. name is the canonical
@@ -73,6 +75,7 @@ func experiments() []experimentSpec {
 		{name: "shard", desc: "distributed serving QPS vs shard count", run: runShard},
 		{name: "obs", desc: "fleet observability plane end to end", run: runObs},
 		{name: "codecs", desc: "supernode codec bake-off grid", run: runCodecs},
+		{name: "ingest", desc: "external-memory ingestion scaling curve", run: runIngest},
 		{name: "ablation", desc: "§3 design-choice studies", run: runAblation},
 	}
 }
@@ -274,6 +277,21 @@ func runCodecs(rf *runFlags) error {
 	return nil
 }
 
+func runIngest(rf *runFlags) error {
+	res, err := bench.Ingestion(rf.cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderIngestion(rf.cfg, res)
+	if rf.ingestOut != "" {
+		if err := bench.IngestionJSON(rf.ingestOut, rf.cfg, res); err != nil {
+			return err
+		}
+		fmt.Printf("ingestion scaling curve written to %s\n", rf.ingestOut)
+	}
+	return nil
+}
+
 func runAblation(rf *runFlags) error {
 	rows, err := bench.Ablations(rf.cfg)
 	if err != nil {
@@ -310,6 +328,7 @@ func main() {
 	shardOut := flag.String("shard-out", "", "write the shard-scaling rows as JSON to this file after the run")
 	obsOut := flag.String("obs-out", "", "write the fleet-observability report as JSON to this file after the run")
 	codecOut := flag.String("codec-out", "", "write the codec bake-off grid as JSON to this file after the run")
+	ingestOut := flag.String("ingest-out", "", "write the ingestion scaling curve as JSON to this file after the run")
 	metricsOut := flag.String("metrics-out", "", "write the serving-path metrics registry as JSON to this file after the run")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N query executions and print the slow-query log after the run (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -trace: write retained traces as Chrome trace_event JSON to this file")
@@ -349,6 +368,7 @@ func main() {
 		shardOut:  *shardOut,
 		obsOut:    *obsOut,
 		codecOut:  *codecOut,
+		ingestOut: *ingestOut,
 	}
 	for _, spec := range specs {
 		name := spec.name

@@ -46,7 +46,7 @@ func TestRegistryEntriesAreWellFormed(t *testing.T) {
 	for _, want := range []string{
 		"fig9", "fig10", "table1", "table2", "fig11", "fig12",
 		"concurrency", "build", "update", "load", "shard", "obs",
-		"codecs", "ablation",
+		"codecs", "ingest", "ablation",
 	} {
 		if !seen[want] {
 			t.Errorf("experiment %q is not selectable", want)

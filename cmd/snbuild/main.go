@@ -12,9 +12,20 @@
 // `snserve -shard-root OUT -shard-id I` and front them with snrouter.
 //
 //	snbuild -crawl ./crawl -out ./shards -shards 4
+//
+// Instead of a corpus.bin crawl, snbuild can ingest a real edge-list
+// dataset (SNAP or GraphChallenge TSV, gzip-transparent, with checksum
+// and URL-table sidecars picked up automatically) or synthesize a
+// crawl inline with -pages. With -max-heap-mb the ingestion edge
+// buffer and the partition refiner's round state both spill to disk in
+// sorted runs, so million-page corpora build under a bounded heap:
+//
+//	snbuild -ingest ./web-Google.txt.gz -format snap -max-heap-mb 256 -out ./repo
+//	snbuild -pages 50000 -out ./repo -scheme snode
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +35,7 @@ import (
 	"time"
 
 	"snode/internal/corpusio"
+	"snode/internal/ingest"
 	"snode/internal/metrics"
 	"snode/internal/repo"
 	"snode/internal/shard"
@@ -44,6 +56,11 @@ type options struct {
 	progress  bool
 	shards    int
 	codec     string
+	ingest    string
+	format    string
+	maxHeapMB int
+	pages     int
+	seed      uint64
 }
 
 // usageError prints the problem in flag-package style (message plus
@@ -70,10 +87,66 @@ func parseFlags() options {
 	flag.BoolVar(&o.progress, "progress", false, "print a periodic build-progress line (elements split / supernodes encoded) to stderr")
 	flag.IntVar(&o.shards, "shards", 0, "emit a K-way domain partition for the distributed serving tier instead of a single repository (0 disables)")
 	flag.StringVar(&o.codec, "codec", snode.CodecPaper, "supernode payload codec: "+strings.Join(snode.CodecNames(), ", ")+" (auto = per-supernode bake-off; output then depends on machine timing)")
+	flag.StringVar(&o.ingest, "ingest", "", "ingest a real edge-list dataset at this path instead of reading -crawl (urls.tsv / manifest.sha256 sidecars are picked up from the same directory)")
+	flag.StringVar(&o.format, "format", ingest.FormatSNAP, "edge-list format for -ingest: "+strings.Join(ingest.Formats(), ", "))
+	flag.IntVar(&o.maxHeapMB, "max-heap-mb", 0, "bounded-heap build: spill the ingestion edge buffer and the refiner's round state to disk past this budget (0 = fully in memory; requires -ingest)")
+	flag.IntVar(&o.pages, "pages", 0, "synthesize a crawl of this many pages inline instead of reading -crawl (0 disables)")
+	flag.Uint64Var(&o.seed, "seed", 20030226, "generator seed for -pages")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		usageError("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	}
+	// The corpus source flags are mutually exclusive: -ingest and
+	// -pages each replace -crawl, so combining them (or either with an
+	// explicit -crawl) leaves no way to honour both.
+	crawlSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "crawl" {
+			crawlSet = true
+		}
+	})
+	if o.ingest != "" && o.pages > 0 {
+		usageError("-ingest and -pages are contradictory: the first reads a real dataset, the second synthesizes one (pick one corpus source)")
+	}
+	if crawlSet && o.ingest != "" {
+		usageError("-crawl and -ingest are contradictory (pick one corpus source)")
+	}
+	if crawlSet && o.pages > 0 {
+		usageError("-crawl and -pages are contradictory (pick one corpus source)")
+	}
+	if o.ingest == "" {
+		if o.maxHeapMB != 0 {
+			usageError("-max-heap-mb requires -ingest (the in-memory crawl formats have no spill path)")
+		}
+		formatSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if formatSet {
+			usageError("-format requires -ingest")
+		}
+	} else {
+		formatOK := false
+		for _, f := range ingest.Formats() {
+			if o.format == f {
+				formatOK = true
+			}
+		}
+		if !formatOK {
+			usageError("unknown -format %q (one of: %s)", o.format, strings.Join(ingest.Formats(), ", "))
+		}
+		if o.maxHeapMB < 0 {
+			usageError("-max-heap-mb must be >= 0, got %d", o.maxHeapMB)
+		}
+		if _, err := os.Stat(o.ingest); err != nil {
+			usageError("-ingest dataset %q does not exist", o.ingest)
+		}
+	}
+	if o.pages < 0 {
+		usageError("-pages must be >= 0, got %d", o.pages)
 	}
 	if o.scheme != "all" {
 		valid := false
@@ -106,8 +179,10 @@ func parseFlags() options {
 	if !codecOK {
 		usageError("unknown -codec %q (one of: %s)", o.codec, strings.Join(snode.CodecNames(), ", "))
 	}
-	if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
-		usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
+	if o.ingest == "" && o.pages == 0 {
+		if fi, err := os.Stat(o.crawlDir); err != nil || !fi.IsDir() {
+			usageError("-crawl directory %q does not exist (generate one with sngen)", o.crawlDir)
+		}
 	}
 	return o
 }
@@ -155,10 +230,47 @@ func reportProgress(reg *metrics.Registry, stop <-chan struct{}) {
 	}
 }
 
+// loadCrawl resolves the corpus source: a real dataset via -ingest, an
+// inline synthetic crawl via -pages, or the default corpus.bin crawl
+// directory.
+func loadCrawl(o options, reg *metrics.Registry) (*synth.Crawl, error) {
+	switch {
+	case o.ingest != "":
+		start := time.Now()
+		crawl, st, err := ingest.Ingest(context.Background(), o.ingest, ingest.Options{
+			Format:    o.format,
+			MaxHeapMB: o.maxHeapMB,
+			Metrics:   reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		verified := "no manifest"
+		if st.ChecksumVerified {
+			verified = "checksum verified"
+		}
+		meta := "url table"
+		if st.SynthesizedMeta {
+			meta = "synthesized urls"
+		}
+		fmt.Printf("ingested %d pages, %d edges from %s in %v (%s, %s, %d dup edges, %d self-loops, %d runs spilled / %d bytes)\n",
+			st.Nodes, st.Edges, o.ingest, time.Since(start).Round(time.Millisecond),
+			verified, meta, st.DupEdges, st.SelfLoops, st.Runs, st.SpillBytes)
+		return crawl, nil
+	case o.pages > 0:
+		cfg := synth.DefaultConfig(o.pages)
+		cfg.Seed = o.seed
+		return synth.Generate(cfg)
+	default:
+		return corpusio.Read(filepath.Join(o.crawlDir, "corpus.bin"))
+	}
+}
+
 func main() {
 	o := parseFlags()
 
-	crawl, err := corpusio.Read(filepath.Join(o.crawlDir, "corpus.bin"))
+	reg := metrics.NewRegistry()
+	crawl, err := loadCrawl(o, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snbuild:", err)
 		os.Exit(1)
@@ -172,8 +284,18 @@ func main() {
 	if o.scheme != "all" {
 		opt.Schemes = []string{o.scheme}
 	}
-	reg := metrics.NewRegistry()
 	opt.SNode.Metrics = reg
+	if o.maxHeapMB > 0 {
+		// Bounded-heap build: partition refinement rounds spill to a
+		// scratch directory alongside the ingestion runs.
+		spillDir, err := os.MkdirTemp("", "snbuild-spill-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snbuild:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(spillDir)
+		opt.SNode.Partition.SpillDir = spillDir
+	}
 	if o.progress {
 		stop := make(chan struct{})
 		go reportProgress(reg, stop)

@@ -54,6 +54,15 @@ type Config struct {
 	// the open-loop load experiment (<= 0 selects 2.5s). The smoke gate
 	// shrinks it; the committed artifact uses the default.
 	LoadDuration time.Duration
+	// IngestSizes is the page-count series for the ingestion scaling
+	// curve (snbench -experiment ingest): each size is exported as an
+	// edge list, re-ingested under the bounded heap, built, and
+	// compared against the direct in-memory build of the same crawl.
+	IngestSizes []int
+	// IngestHeapMB is the ingestion heap budget (ingest.Options
+	// .MaxHeapMB) the bounded-heap mode runs under; the partition
+	// refiner's spill rounds are enabled alongside it.
+	IngestHeapMB int
 	// Seed feeds the crawl generator.
 	Seed uint64
 	// Model is the simulated disk.
@@ -77,14 +86,16 @@ type Config struct {
 // Default returns the full-scale configuration (what cmd/snbench runs).
 func Default() Config {
 	return Config{
-		Sizes:       []int{10000, 25000, 50000, 75000, 100000},
-		Table1Sizes: []int{25000, 50000, 100000},
-		QuerySize:   100000,
-		QueryBudget: 1 << 20,
-		Trials:      3,
-		Seed:        20030226,
-		Model:       iosim.Model2002(),
-		Out:         os.Stdout,
+		Sizes:        []int{10000, 25000, 50000, 75000, 100000},
+		Table1Sizes:  []int{25000, 50000, 100000},
+		QuerySize:    100000,
+		QueryBudget:  1 << 20,
+		Trials:       3,
+		IngestSizes:  []int{100000, 300000, 1000000},
+		IngestHeapMB: 32,
+		Seed:         20030226,
+		Model:        iosim.Model2002(),
+		Out:          os.Stdout,
 	}
 }
 
@@ -97,6 +108,11 @@ func Quick() Config {
 	c.QuerySize = 16000
 	c.QueryBudget = 128 << 10
 	c.Trials = 1
+	// Small enough to smoke-test in seconds; the 1 MB budget still
+	// forces the largest size through the sorted-run spill path (its
+	// edge count exceeds the budget's ~44k-edge buffer).
+	c.IngestSizes = []int{3000, 12000}
+	c.IngestHeapMB = 1
 	return c
 }
 

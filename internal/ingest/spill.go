@@ -1,0 +1,665 @@
+// External-memory edge ingestion: a bounded in-memory buffer of raw
+// (src, dst) pairs spills to disk as sorted, deduplicated,
+// delta-coded runs; a k-way merge replays the runs as one globally
+// sorted edge stream that is translated through the compacted ID
+// table straight into CSR arrays. The discipline mirrors the
+// workpool.Ordered streaming assembly of the S-Node builder: peak
+// memory is O(budget) for ingestion state, never O(edges).
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"snode/internal/metrics"
+	"snode/internal/trace"
+	"snode/internal/webgraph"
+)
+
+// rawEdge is one parsed edge before compaction.
+type rawEdge struct{ s, d uint64 }
+
+// edgeBytes is the in-memory footprint charged per buffered edge: the
+// pair itself plus sort/merge headroom, so MaxHeapMB honestly bounds
+// the working set rather than just the array.
+const edgeBytes = 24
+
+// minBudgetEdges keeps degenerate budgets usable (and the run count
+// bounded) instead of spilling every few lines.
+const minBudgetEdges = 4096
+
+// spiller accumulates edges, spilling sorted runs past the budget.
+type spiller struct {
+	opt           Options
+	universeKnown bool // URL table defines the nodes; skip node runs
+
+	buf    []rawEdge
+	budget int // max buffered edges; 0 = unbounded
+
+	dir    string
+	ownDir bool
+	runs   []runInfo
+
+	mRuns      *metrics.Counter
+	mBytes     *metrics.Counter
+	mLiveBytes *metrics.Gauge
+}
+
+// runInfo locates one spilled run pair.
+type runInfo struct {
+	edgePath string
+	nodePath string
+	nEdges   int64
+	nNodes   int64
+	bytes    int64
+}
+
+func newSpiller(opt Options, universeKnown bool) (*spiller, error) {
+	sp := &spiller{opt: opt, universeKnown: universeKnown}
+	if opt.MaxHeapMB > 0 {
+		sp.budget = opt.MaxHeapMB << 20 / edgeBytes
+		if sp.budget < minBudgetEdges {
+			sp.budget = minBudgetEdges
+		}
+		sp.buf = make([]rawEdge, 0, sp.budget)
+	}
+	if opt.Metrics != nil {
+		sp.mRuns = opt.Metrics.Counter("ingest_runs_spilled")
+		sp.mBytes = opt.Metrics.Counter("ingest_spill_bytes")
+		sp.mLiveBytes = opt.Metrics.Gauge("ingest_spill_live_bytes")
+	}
+	return sp, nil
+}
+
+// add buffers one edge, spilling a sorted run when the buffer reaches
+// the heap budget.
+func (sp *spiller) add(ctx context.Context, s, d uint64, st *Stats) error {
+	sp.buf = append(sp.buf, rawEdge{s, d})
+	if sp.budget > 0 && len(sp.buf) >= sp.budget {
+		return sp.flushRun(ctx, st)
+	}
+	return nil
+}
+
+// ensureDir lazily creates the spill directory on first flush.
+func (sp *spiller) ensureDir() error {
+	if sp.dir != "" {
+		return nil
+	}
+	if sp.opt.SpillDir != "" {
+		if err := os.MkdirAll(sp.opt.SpillDir, 0o755); err != nil {
+			return fmt.Errorf("ingest: spill dir: %w", err)
+		}
+		sp.dir = sp.opt.SpillDir
+		return nil
+	}
+	dir, err := os.MkdirTemp("", "snode-ingest-*")
+	if err != nil {
+		return fmt.Errorf("ingest: spill dir: %w", err)
+	}
+	sp.dir = dir
+	sp.ownDir = true
+	return nil
+}
+
+// cleanup removes whatever runs are still on disk (the merge deletes
+// consumed runs itself; this covers error paths).
+func (sp *spiller) cleanup() {
+	for _, r := range sp.runs {
+		os.Remove(r.edgePath)
+		os.Remove(r.nodePath)
+	}
+	if sp.ownDir && sp.dir != "" {
+		os.RemoveAll(sp.dir)
+	}
+	if sp.mLiveBytes != nil {
+		sp.mLiveBytes.Set(0)
+	}
+}
+
+// sortDedup sorts edges by (s, d) and removes duplicates in place,
+// returning the compacted slice and the number of duplicates dropped.
+func sortDedup(buf []rawEdge) ([]rawEdge, int64) {
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].s != buf[j].s {
+			return buf[i].s < buf[j].s
+		}
+		return buf[i].d < buf[j].d
+	})
+	var dups int64
+	k := 0
+	for i := range buf {
+		if i > 0 && buf[i] == buf[i-1] {
+			dups++
+			continue
+		}
+		buf[k] = buf[i]
+		k++
+	}
+	return buf[:k], dups
+}
+
+// flushRun writes the buffered edges (and, unless the node universe is
+// already known, their distinct node IDs) as one sorted run.
+func (sp *spiller) flushRun(ctx context.Context, st *Stats) error {
+	if len(sp.buf) == 0 {
+		return nil
+	}
+	_, span := trace.Start(ctx, "ingest.spill")
+	defer span.End()
+	if err := sp.ensureDir(); err != nil {
+		return err
+	}
+	edges, dups := sortDedup(sp.buf)
+	st.DupEdges += dups
+
+	ri := runInfo{
+		edgePath: filepath.Join(sp.dir, fmt.Sprintf("run-%04d.edges", len(sp.runs))),
+		nodePath: filepath.Join(sp.dir, fmt.Sprintf("run-%04d.nodes", len(sp.runs))),
+		nEdges:   int64(len(edges)),
+	}
+	n, err := writeEdgeRun(ri.edgePath, edges)
+	if err != nil {
+		return err
+	}
+	ri.bytes += n
+	if !sp.universeKnown {
+		nodes := make([]uint64, 0, 2*len(edges))
+		for _, e := range edges {
+			nodes = append(nodes, e.s, e.d)
+		}
+		nodes = dedupSorted(nodes)
+		ri.nNodes = int64(len(nodes))
+		n, err := writeNodeRun(ri.nodePath, nodes)
+		if err != nil {
+			return err
+		}
+		ri.bytes += n
+	}
+	sp.runs = append(sp.runs, ri)
+	st.Runs++
+	st.SpillBytes += ri.bytes
+	if sp.opt.IO != nil {
+		sp.opt.IO.Spill(ctx, ri.bytes)
+	}
+	if sp.mRuns != nil {
+		sp.mRuns.Inc()
+		sp.mBytes.Add(ri.bytes)
+		sp.mLiveBytes.Add(ri.bytes)
+	}
+	span.SetAttr("edges", ri.nEdges)
+	span.SetAttr("bytes", ri.bytes)
+	sp.buf = sp.buf[:0]
+	return nil
+}
+
+// dedupSorted sorts and deduplicates node IDs in place.
+func dedupSorted(v []uint64) []uint64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	k := 0
+	for i := range v {
+		if i > 0 && v[i] == v[i-1] {
+			continue
+		}
+		v[k] = v[i]
+		k++
+	}
+	return v[:k]
+}
+
+// finalize turns everything the spiller holds into CSR arrays plus the
+// compaction table (raw ID per dense ID). universe, when non-nil, is
+// the sorted raw-ID node set the URL table declared; edges referencing
+// IDs outside it are an error. With universe nil the node set is the
+// union of edge endpoints.
+func (sp *spiller) finalize(ctx context.Context, universe []uint64, st *Stats) (offsets []int64, targets []webgraph.PageID, table []uint64, err error) {
+	if len(sp.runs) == 0 {
+		// In-memory path: one "run" that never touched disk.
+		edges, dups := sortDedup(sp.buf)
+		st.DupEdges += dups
+		table = universe
+		if table == nil {
+			nodes := make([]uint64, 0, 2*len(edges))
+			for _, e := range edges {
+				nodes = append(nodes, e.s, e.d)
+			}
+			table = dedupSorted(nodes)
+		}
+		if err := checkNodeCount(len(table)); err != nil {
+			return nil, nil, nil, err
+		}
+		offsets, targets, err = buildCSR(&sliceStream{edges: edges}, table, int64(len(edges)))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return offsets, targets, table, nil
+	}
+
+	// Flush the tail so the merge sees every edge, and release the
+	// buffer: the merge phase must not retain the budget's worth of
+	// capacity on top of its own cursors.
+	if err := sp.flushRun(ctx, st); err != nil {
+		return nil, nil, nil, err
+	}
+	sp.buf = nil
+	_, span := trace.Start(ctx, "ingest.merge")
+	defer span.End()
+	span.SetAttr("runs", int64(len(sp.runs)))
+
+	table = universe
+	if table == nil {
+		table, err = sp.mergeNodes(ctx)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := checkNodeCount(len(table)); err != nil {
+		return nil, nil, nil, err
+	}
+
+	ms, maxEdges, err := sp.openEdgeMerge(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer ms.close()
+	offsets, targets, err = buildCSR(ms, table, maxEdges)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st.DupEdges += ms.dups
+	return offsets, targets, table, nil
+}
+
+// mergeNodes k-way merges the per-run node files into the compaction
+// table.
+func (sp *spiller) mergeNodes(ctx context.Context) ([]uint64, error) {
+	var total int64
+	curs := make([]*nodeCursor, 0, len(sp.runs))
+	defer func() {
+		for _, c := range curs {
+			c.close()
+		}
+	}()
+	for _, r := range sp.runs {
+		c, err := openNodeRun(r.nodePath, r.nNodes)
+		if err != nil {
+			return nil, err
+		}
+		if sp.opt.IO != nil {
+			sp.opt.IO.Spill(ctx, r.bytes-edgeRunBytes(r))
+		}
+		curs = append(curs, c)
+		total += r.nNodes
+	}
+	var table []uint64
+	for {
+		best := -1
+		for i, c := range curs {
+			if !c.ok {
+				continue
+			}
+			if best < 0 || c.cur < curs[best].cur {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		v := curs[best].cur
+		if len(table) == 0 || table[len(table)-1] != v {
+			table = append(table, v)
+		}
+		if err := curs[best].advance(); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+// edgeRunBytes approximates a run's edge-file share of its byte count
+// (only used to split the modeled read-back charge between node and
+// edge merges; exactness is irrelevant to the model).
+func edgeRunBytes(r runInfo) int64 {
+	if r.nNodes == 0 {
+		return r.bytes
+	}
+	return r.bytes * r.nEdges / (r.nEdges + r.nNodes)
+}
+
+// --- run file encoding ------------------------------------------------
+
+// Edge runs are delta-coded uvarints over the sorted pairs: per edge,
+// ds = s - prevS; ds > 0 resets the dst base (absolute dst follows),
+// ds == 0 continues the source's list (dst delta follows). Node runs
+// are plain sorted deltas. Both begin with a uvarint count.
+
+func writeEdgeRun(path string, edges []rawEdge) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: spill: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf [binary.MaxVarintLen64]byte
+	var written int64
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		written += int64(n)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(edges))); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var prevS, prevD uint64
+	for _, e := range edges {
+		ds := e.s - prevS
+		if err := put(ds); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if ds > 0 {
+			err = put(e.d)
+		} else {
+			err = put(e.d - prevD)
+		}
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		prevS, prevD = e.s, e.d
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return written, f.Close()
+}
+
+func writeNodeRun(path string, nodes []uint64) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: spill: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf [binary.MaxVarintLen64]byte
+	var written int64
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		written += int64(n)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(nodes))); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var prev uint64
+	for _, v := range nodes {
+		if err := put(v - prev); err != nil {
+			f.Close()
+			return 0, err
+		}
+		prev = v
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return written, f.Close()
+}
+
+// nodeCursor streams one node run.
+type nodeCursor struct {
+	f    *os.File
+	r    *bufio.Reader
+	left int64
+	prev uint64
+	cur  uint64
+	ok   bool
+}
+
+func openNodeRun(path string, n int64) (*nodeCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: spill: %w", err)
+	}
+	c := &nodeCursor{f: f, r: bufio.NewReaderSize(f, 256<<10)}
+	cnt, err := binary.ReadUvarint(c.r)
+	if err != nil || int64(cnt) != n {
+		f.Close()
+		return nil, fmt.Errorf("ingest: spill: node run %s corrupt", path)
+	}
+	c.left = n
+	if err := c.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *nodeCursor) advance() error {
+	if c.left == 0 {
+		c.ok = false
+		return nil
+	}
+	d, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return fmt.Errorf("ingest: spill: node run read: %w", err)
+	}
+	c.prev += d
+	c.cur = c.prev
+	c.left--
+	c.ok = true
+	return nil
+}
+
+func (c *nodeCursor) close() {
+	c.f.Close()
+	os.Remove(c.f.Name())
+}
+
+// edgeCursor streams one edge run.
+type edgeCursor struct {
+	f     *os.File
+	r     *bufio.Reader
+	left  int64
+	prevS uint64
+	prevD uint64
+	cur   rawEdge
+	ok    bool
+}
+
+func openEdgeRun(path string, n int64) (*edgeCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: spill: %w", err)
+	}
+	c := &edgeCursor{f: f, r: bufio.NewReaderSize(f, 256<<10)}
+	cnt, err := binary.ReadUvarint(c.r)
+	if err != nil || int64(cnt) != n {
+		f.Close()
+		return nil, fmt.Errorf("ingest: spill: edge run %s corrupt", path)
+	}
+	c.left = n
+	if err := c.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *edgeCursor) advance() error {
+	if c.left == 0 {
+		c.ok = false
+		return nil
+	}
+	ds, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return fmt.Errorf("ingest: spill: edge run read: %w", err)
+	}
+	d, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return fmt.Errorf("ingest: spill: edge run read: %w", err)
+	}
+	if ds > 0 {
+		c.prevS += ds
+		c.prevD = d
+	} else {
+		c.prevD += d
+	}
+	c.cur = rawEdge{c.prevS, c.prevD}
+	c.left--
+	c.ok = true
+	return nil
+}
+
+func (c *edgeCursor) close() {
+	c.f.Close()
+	os.Remove(c.f.Name())
+}
+
+// --- merged edge stream ----------------------------------------------
+
+// edgeStream yields (src, dst) pairs in ascending (src, dst) order
+// with no duplicates.
+type edgeStream interface {
+	next() (rawEdge, bool, error)
+}
+
+// sliceStream adapts the in-memory sorted buffer.
+type sliceStream struct {
+	edges []rawEdge
+	i     int
+}
+
+func (s *sliceStream) next() (rawEdge, bool, error) {
+	if s.i >= len(s.edges) {
+		return rawEdge{}, false, nil
+	}
+	e := s.edges[s.i]
+	s.i++
+	return e, true, nil
+}
+
+// mergeStream k-way merges edge runs, deduplicating across runs. The
+// run count is small (total edges / budget), so a linear min scan per
+// pop beats heap bookkeeping.
+type mergeStream struct {
+	curs []*edgeCursor
+	last rawEdge
+	any  bool
+	dups int64
+}
+
+func (sp *spiller) openEdgeMerge(ctx context.Context) (*mergeStream, int64, error) {
+	ms := &mergeStream{}
+	var total int64
+	for _, r := range sp.runs {
+		c, err := openEdgeRun(r.edgePath, r.nEdges)
+		if err != nil {
+			ms.close()
+			return nil, 0, err
+		}
+		if sp.opt.IO != nil {
+			sp.opt.IO.Spill(ctx, edgeRunBytes(r))
+		}
+		ms.curs = append(ms.curs, c)
+		total += r.nEdges
+	}
+	return ms, total, nil
+}
+
+func (m *mergeStream) next() (rawEdge, bool, error) {
+	for {
+		best := -1
+		for i, c := range m.curs {
+			if !c.ok {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := m.curs[best]
+			if c.cur.s < b.cur.s || (c.cur.s == b.cur.s && c.cur.d < b.cur.d) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return rawEdge{}, false, nil
+		}
+		e := m.curs[best].cur
+		if err := m.curs[best].advance(); err != nil {
+			return rawEdge{}, false, err
+		}
+		if m.any && e == m.last {
+			m.dups++
+			continue
+		}
+		m.any = true
+		m.last = e
+		return e, true, nil
+	}
+}
+
+func (m *mergeStream) close() {
+	for _, c := range m.curs {
+		c.close()
+	}
+}
+
+// --- CSR construction -------------------------------------------------
+
+// buildCSR consumes a sorted deduplicated edge stream, translating raw
+// IDs through the compaction table into dense int32 page IDs and
+// laying the adjacency down directly in CSR form. maxEdges sizes the
+// target array's initial capacity (an upper bound; cross-run
+// duplicates shrink it).
+func buildCSR(s edgeStream, table []uint64, maxEdges int64) ([]int64, []webgraph.PageID, error) {
+	n := len(table)
+	offsets := make([]int64, n+1)
+	targets := make([]webgraph.PageID, 0, maxEdges)
+	row := 0 // dense source whose list is being appended
+	for {
+		e, ok, err := s.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		ds, ok := denseOf(table, e.s)
+		if !ok {
+			return nil, nil, fmt.Errorf("ingest: edge source %d is not in the URL table's node set", e.s)
+		}
+		dd, ok := denseOf(table, e.d)
+		if !ok {
+			return nil, nil, fmt.Errorf("ingest: edge target %d is not in the URL table's node set", e.d)
+		}
+		for row < ds {
+			row++
+			offsets[row] = int64(len(targets))
+		}
+		targets = append(targets, webgraph.PageID(dd))
+	}
+	for row < n {
+		row++
+		offsets[row] = int64(len(targets))
+	}
+	return offsets, targets, nil
+}
+
+// denseOf binary-searches the compaction table.
+func denseOf(table []uint64, raw uint64) (int, bool) {
+	i := sort.Search(len(table), func(i int) bool { return table[i] >= raw })
+	if i < len(table) && table[i] == raw {
+		return i, true
+	}
+	return 0, false
+}

@@ -1,0 +1,41 @@
+package iosim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSpillCounters: spill transfers land on the dedicated counters,
+// not the read-side ones, and a nil Accountant is inert.
+func TestSpillCounters(t *testing.T) {
+	acc := NewAccountant(Model2002())
+	acc.Spill(context.Background(), 1000)
+	acc.Spill(context.Background(), 24)
+	st := acc.Stats()
+	if st.SpillOps != 2 || st.SpillBytes != 1024 {
+		t.Fatalf("spill stats = %+v, want 2 ops / 1024 bytes", st)
+	}
+	if st.Reads != 0 || st.Seeks != 0 || st.BytesRead != 0 {
+		t.Fatalf("spill leaked into read counters: %+v", st)
+	}
+	var nilAcc *Accountant
+	nilAcc.Spill(context.Background(), 1<<20) // must not panic
+}
+
+// TestSpillModeledTime: each spill op is one seek plus a sequential
+// transfer, added to the same modeled clock as reads.
+func TestSpillModeledTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, BytesPerSecond: 1e6}
+	s := Stats{SpillOps: 2, SpillBytes: 500000}
+	got := s.ModeledTime(m)
+	want := 20*time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("ModeledTime = %v, want %v", got, want)
+	}
+	s.Seeks = 1
+	s.BytesRead = 500000
+	if got := s.ModeledTime(m); got != want+10*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("combined ModeledTime = %v", got)
+	}
+}

@@ -1,0 +1,171 @@
+// External-memory refinement rounds: when Config.SpillDir is set, a
+// round's proposed splits are encoded to a spill file as the workers
+// produce them and replayed from disk, in the same ascending element
+// order the in-memory path uses, during application. The file is a
+// per-round append log of uvarint-encoded split groups; a small
+// in-memory index (offset, length, two flag bits per examined element)
+// is all that outlives a worker's examination.
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"snode/internal/webgraph"
+)
+
+// spillEntry indexes one examined element's encoded split in the round
+// file. ok=false is an abort (nothing was written).
+type spillEntry struct {
+	off int64
+	n   int64
+	url bool
+	ok  bool
+}
+
+// roundSpill is one refinement round's on-disk split state.
+type roundSpill struct {
+	f       *os.File
+	mu      sync.Mutex
+	off     int64
+	entries []spillEntry
+}
+
+func newRoundSpill(dir string, round, n int) (*roundSpill, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("partition: spill dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, fmt.Sprintf("refine-round-%04d-*.spill", round))
+	if err != nil {
+		return nil, fmt.Errorf("partition: spill: %w", err)
+	}
+	return &roundSpill{f: f, entries: make([]spillEntry, n)}, nil
+}
+
+// put records examined element i's outcome, appending the encoded
+// groups to the round file. Safe for concurrent workers; each index is
+// written exactly once.
+func (s *roundSpill) put(i int, r splitResult) error {
+	if r.groups == nil {
+		s.entries[i] = spillEntry{}
+		return nil
+	}
+	buf := encodeGroups(r.groups)
+	s.mu.Lock()
+	off := s.off
+	s.off += int64(len(buf))
+	_, err := s.f.WriteAt(buf, off)
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("partition: spill write: %w", err)
+	}
+	s.entries[i] = spillEntry{off: off, n: int64(len(buf)), url: r.url, ok: true}
+	return nil
+}
+
+// get replays examined element i's outcome from the round file.
+func (s *roundSpill) get(i int) (splitResult, error) {
+	e := s.entries[i]
+	if !e.ok {
+		return splitResult{}, nil
+	}
+	buf := make([]byte, e.n)
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return splitResult{}, fmt.Errorf("partition: spill read: %w", err)
+	}
+	groups, err := decodeGroups(buf)
+	if err != nil {
+		return splitResult{}, err
+	}
+	return splitResult{groups: groups, url: e.url}, nil
+}
+
+// bytes reports how much the round spilled.
+func (s *roundSpill) bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off
+}
+
+// close removes the round file.
+func (s *roundSpill) close() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}
+
+// encodeGroups serializes a split proposal: uvarint group count, then
+// per group uvarint depth, a clusterOnly byte, uvarint page count, and
+// the sorted pages delta-coded (first absolute, then gaps). The
+// round trip is exact, which is what keeps spilled rounds bit-identical
+// to in-memory rounds.
+func encodeGroups(groups []Element) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(len(groups)))
+	for _, g := range groups {
+		put(uint64(g.depth))
+		if g.clusterOnly {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		put(uint64(len(g.Pages)))
+		prev := int64(-1)
+		for _, pg := range g.Pages {
+			put(uint64(int64(pg) - prev))
+			prev = int64(pg)
+		}
+	}
+	return buf
+}
+
+func decodeGroups(buf []byte) ([]Element, error) {
+	pos := 0
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("partition: spill entry corrupt")
+		}
+		pos += n
+		return v, nil
+	}
+	ng, err := get()
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]Element, ng)
+	for gi := range groups {
+		depth, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("partition: spill entry corrupt")
+		}
+		clusterOnly := buf[pos] == 1
+		pos++
+		np, err := get()
+		if err != nil {
+			return nil, err
+		}
+		pages := make([]webgraph.PageID, np)
+		prev := int64(-1)
+		for i := range pages {
+			d, err := get()
+			if err != nil {
+				return nil, err
+			}
+			prev += int64(d)
+			pages[i] = webgraph.PageID(prev)
+		}
+		groups[gi] = Element{Pages: pages, depth: int(depth), clusterOnly: clusterOnly}
+	}
+	return groups, nil
+}

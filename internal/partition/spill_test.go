@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"snode/internal/webgraph"
+)
+
+// TestRefineSpillBitIdentical pins the external-memory contract: a
+// refinement whose rounds spill to disk produces exactly the partition
+// (assignments and stats) of the in-memory refinement, at every worker
+// width.
+func TestRefineSpillBitIdentical(t *testing.T) {
+	c := getCorpus(t)
+	ref, err := Refine(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.SpillDir = dir
+		p, err := Refine(c, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d spill: %v", workers, err)
+		}
+		if p.NumElements() != ref.NumElements() {
+			t.Fatalf("workers=%d spill: %d elements, in-memory gave %d",
+				workers, p.NumElements(), ref.NumElements())
+		}
+		for i := range p.Assign {
+			if p.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d spill: assignment diverges at page %d", workers, i)
+			}
+		}
+		if p.URLSplits != ref.URLSplits || p.ClusteredSplits != ref.ClusteredSplits ||
+			p.Aborts != ref.Aborts || p.Iterations != ref.Iterations || p.Rounds != ref.Rounds {
+			t.Fatalf("workers=%d spill: stats diverge: %+v vs %+v", workers, p, ref)
+		}
+		// Round files are temporary: every one must be gone afterwards.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("spill dir not cleaned: %d files remain", len(entries))
+		}
+	}
+}
+
+// TestRefineSpillMinPages: a threshold larger than the corpus keeps
+// every round in memory (no spill dir contents ever appear) yet still
+// matches the reference partition.
+func TestRefineSpillMinPages(t *testing.T) {
+	c := getCorpus(t)
+	ref, err := Refine(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SpillDir = t.TempDir()
+	cfg.SpillMinPages = c.Graph.NumPages() + 1
+	p, err := Refine(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Assign {
+		if p.Assign[i] != ref.Assign[i] {
+			t.Fatalf("assignment diverges at page %d", i)
+		}
+	}
+}
+
+// TestEncodeDecodeGroupsRoundTrip: the spill codec reproduces split
+// proposals exactly, including depth and clusterOnly flags.
+func TestEncodeDecodeGroupsRoundTrip(t *testing.T) {
+	groups := []Element{
+		{Pages: []webgraph.PageID{0}, depth: 0},
+		{Pages: []webgraph.PageID{3, 4, 1000, 1_000_000}, depth: 2},
+		{Pages: []webgraph.PageID{7, 8, 9}, depth: 3, clusterOnly: true},
+	}
+	got, err := decodeGroups(encodeGroups(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, groups) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, groups)
+	}
+}
+
+// TestDecodeGroupsCorrupt: truncated entries fail loudly rather than
+// silently yielding a partial split.
+func TestDecodeGroupsCorrupt(t *testing.T) {
+	buf := encodeGroups([]Element{{Pages: []webgraph.PageID{1, 2, 3}, depth: 1}})
+	for _, cut := range []int{1, len(buf) / 2, len(buf) - 1} {
+		if _, err := decodeGroups(buf[:cut]); err == nil {
+			t.Fatalf("decodeGroups accepted a %d/%d-byte truncation", cut, len(buf))
+		}
+	}
+}
+
+// TestRoundSpillPutGet covers the index semantics: aborts (nil groups)
+// replay as empty results, and out-of-order puts read back correctly.
+func TestRoundSpillPutGet(t *testing.T) {
+	rs, err := newRoundSpill(t.TempDir(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.close()
+	g2 := []Element{{Pages: []webgraph.PageID{5, 9}, depth: 1}}
+	g0 := []Element{{Pages: []webgraph.PageID{1}, depth: 2, clusterOnly: true}}
+	if err := rs.put(2, splitResult{groups: g2, url: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.put(0, splitResult{groups: g0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.put(1, splitResult{}); err != nil {
+		t.Fatal(err)
+	}
+	r0, err := rs.get(0)
+	if err != nil || !reflect.DeepEqual(r0.groups, g0) || r0.url {
+		t.Fatalf("get(0) = %+v, %v", r0, err)
+	}
+	r1, err := rs.get(1)
+	if err != nil || r1.groups != nil {
+		t.Fatalf("get(1) = %+v, %v; want abort (nil groups)", r1, err)
+	}
+	r2, err := rs.get(2)
+	if err != nil || !reflect.DeepEqual(r2.groups, g2) || !r2.url {
+		t.Fatalf("get(2) = %+v, %v", r2, err)
+	}
+	if rs.bytes() == 0 {
+		t.Fatal("bytes() = 0 after two encoded puts")
+	}
+}
